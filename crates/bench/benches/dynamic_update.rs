@@ -1,0 +1,50 @@
+//! T1-dynamic bench: per-update and per-query cost of the fully dynamic
+//! sketch (Algorithm 5) as the universe grows (Table 1, fully dynamic row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kcz_streaming::DynamicCoreset;
+use kcz_workloads::{churn_schedule, grid_clusters};
+use std::hint::black_box;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_update");
+    g.sample_size(10);
+    for &side_bits in &[10u32, 16, 22] {
+        let base = grid_clusters::<2>(side_bits, 2, 100, (1u64 << side_bits) / 32, 8, 5);
+        let ops = churn_schedule(&base, 200, 7);
+        g.throughput(Throughput::Elements(ops.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("updates", side_bits),
+            &ops,
+            |b, ops| {
+                b.iter(|| {
+                    let mut sk = DynamicCoreset::<2>::new(side_bits, 64, 0.01, 11);
+                    for op in ops {
+                        if op.insert {
+                            sk.insert(&op.point);
+                        } else {
+                            sk.delete(&op.point);
+                        }
+                    }
+                    black_box(sk.net_updates())
+                });
+            },
+        );
+        // Query cost on a populated sketch.
+        let mut sk = DynamicCoreset::<2>::new(side_bits, 64, 0.01, 11);
+        for op in &ops {
+            if op.insert {
+                sk.insert(&op.point);
+            } else {
+                sk.delete(&op.point);
+            }
+        }
+        g.bench_with_input(BenchmarkId::new("query", side_bits), &sk, |b, sk| {
+            b.iter(|| black_box(sk.coreset().map(|(c, l)| (c.len(), l))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Substrate bench: the Charikar-et-al. greedy (`Greedy(P, k, z)`), the
+//! inner loop of every mini-ball construction, in both candidate modes,
+//! plus Gonzalez farthest-first for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcz_kcenter::charikar::{greedy_with, GreedyParams};
+use kcz_kcenter::farthest_first;
+use kcz_metric::{unit_weighted, L2};
+use kcz_workloads::gaussian_clusters;
+use std::hint::black_box;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_solver");
+    g.sample_size(10);
+    for &n_per in &[60usize, 250] {
+        let inst = gaussian_clusters::<2>(3, n_per, 1.0, 10, 29);
+        let pts = unit_weighted(&inst.points);
+        let n = pts.len();
+        let exact = GreedyParams {
+            exact_candidates_max_n: usize::MAX,
+            ..Default::default()
+        };
+        let geo = GreedyParams {
+            exact_candidates_max_n: 0,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("charikar_exact", n), &pts, |b, pts| {
+            b.iter(|| black_box(greedy_with(&L2, pts, 3, 10, &exact).radius));
+        });
+        g.bench_with_input(BenchmarkId::new("charikar_geometric", n), &pts, |b, pts| {
+            b.iter(|| black_box(greedy_with(&L2, pts, 3, 10, &geo).radius));
+        });
+        g.bench_with_input(BenchmarkId::new("gonzalez_k13", n), &pts, |b, pts| {
+            b.iter(|| black_box(farthest_first(&L2, pts, 13, 0).radius));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

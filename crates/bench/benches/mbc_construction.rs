@@ -1,0 +1,27 @@
+//! F1-mbc bench: throughput of `MBCConstruction` (Algorithm 1), the
+//! primitive every MPC machine and the coordinator run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcz_coreset::mbc_construction;
+use kcz_metric::{unit_weighted, L2};
+use kcz_workloads::gaussian_clusters;
+use std::hint::black_box;
+
+fn bench_mbc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mbc_construction");
+    g.sample_size(10);
+    for &n_per in &[250usize, 1000] {
+        for &eps in &[0.5f64, 1.0] {
+            let inst = gaussian_clusters::<2>(3, n_per, 1.0, 12, 7);
+            let pts = unit_weighted(&inst.points);
+            let id = BenchmarkId::new(format!("k3_z12_eps{eps}"), 3 * n_per + 12);
+            g.bench_with_input(id, &pts, |b, pts| {
+                b.iter(|| black_box(mbc_construction(&L2, pts, 3, 12, eps)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mbc);
+criterion_main!(benches);

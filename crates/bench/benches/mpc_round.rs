@@ -1,0 +1,44 @@
+//! T1-mpc bench: end-to-end wall time of the MPC algorithms (the rounds
+//! execute machine-locally in parallel threads; Table 1, MPC rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcz_kcenter::charikar::GreedyParams;
+use kcz_metric::L2;
+use kcz_mpc::{ceccarello_one_round, one_round_randomized, r_round, two_round};
+use kcz_workloads::{concentrated_partition, gaussian_clusters, random_partition};
+use std::hint::black_box;
+
+fn bench_mpc(c: &mut Criterion) {
+    let (k, z, eps, m) = (3usize, 24u64, 0.5f64, 8usize);
+    let inst = gaussian_clusters::<2>(k, 700, 1.0, z as usize, 17);
+    let n = inst.points.len();
+    let adv = concentrated_partition(&inst.points, &inst.outlier_flags, m);
+    let rnd = random_partition(&inst.points, m, 3);
+    let params = GreedyParams::default();
+
+    let mut g = c.benchmark_group("mpc_round");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("two_round_adv", n), &adv, |b, parts| {
+        b.iter(|| black_box(two_round(&L2, parts, k, z, eps, &params).output.coreset.len()));
+    });
+    g.bench_with_input(BenchmarkId::new("one_round_rnd", n), &rnd, |b, parts| {
+        b.iter(|| {
+            black_box(
+                one_round_randomized(&L2, parts, k, z, eps, &params)
+                    .output
+                    .coreset
+                    .len(),
+            )
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("r_round_3", n), &adv, |b, parts| {
+        b.iter(|| black_box(r_round(&L2, parts, k, z, eps, 3, &params).coreset.len()));
+    });
+    g.bench_with_input(BenchmarkId::new("cpp19_baseline", n), &adv, |b, parts| {
+        b.iter(|| black_box(ceccarello_one_round(&L2, parts, k, z, eps, &params).coreset.len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mpc);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! T1-sliding bench: per-arrival cost of the sliding-window structure as
+//! z (points kept per mini-ball) and the guess count (log σ) grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kcz_metric::L2;
+use kcz_streaming::SlidingWindowCoreset;
+use kcz_workloads::drifting_stream;
+use std::hint::black_box;
+
+fn bench_sliding(c: &mut Criterion) {
+    let stream = drifting_stream(8000, 2, 1.0, 0.03, 0.001, 13);
+    let mut g = c.benchmark_group("sliding_insert");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for &z in &[2u64, 8] {
+        for &rho_max in &[64.0f64, 4096.0] {
+            let id = BenchmarkId::new(format!("z{z}"), rho_max as u64);
+            g.bench_with_input(id, &stream, |b, s| {
+                b.iter(|| {
+                    let mut alg =
+                        SlidingWindowCoreset::new(L2, 2, z, 1.0, 2000, 1.0, rho_max);
+                    for p in s {
+                        alg.insert(*p);
+                    }
+                    black_box(alg.query().map(|q| q.coreset.len()))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sliding);
+criterion_main!(benches);

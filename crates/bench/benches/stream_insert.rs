@@ -1,0 +1,52 @@
+//! T1-stream bench: per-point update cost of the insertion-only
+//! structures — Algorithm 3 against the CPP19-style and MK-style
+//! baselines (Table 1, insertion-only rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kcz_streaming::baselines::{ceccarello_stream, mk_doubling};
+use kcz_streaming::InsertionOnlyCoreset;
+use kcz_metric::L2;
+use kcz_workloads::{gaussian_clusters, shuffled};
+use std::hint::black_box;
+
+fn bench_stream(c: &mut Criterion) {
+    let (k, z, eps) = (2usize, 32u64, 0.5f64);
+    let inst = gaussian_clusters::<2>(k, 5000, 1.0, z as usize, 3);
+    let stream = shuffled(&inst.points, 1);
+
+    let mut g = c.benchmark_group("stream_insert");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    g.bench_with_input(BenchmarkId::new("alg3_ours", stream.len()), &stream, |b, s| {
+        b.iter(|| {
+            let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
+            for p in s {
+                alg.insert(*p);
+            }
+            black_box(alg.coreset().len())
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("cpp19", stream.len()), &stream, |b, s| {
+        b.iter(|| {
+            let mut alg = ceccarello_stream(L2, k, z, eps);
+            for p in s {
+                alg.insert(*p);
+            }
+            black_box(alg.coreset().len())
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("mk_doubling", stream.len()), &stream, |b, s| {
+        b.iter(|| {
+            let mut alg = mk_doubling(L2, k, z);
+            for p in s {
+                alg.insert(*p);
+            }
+            black_box(alg.coreset().len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Shared helpers for the experiment harness and the Criterion benches.
+//!
+//! The binary `experiments` (in `src/bin/`) regenerates the measured
+//! counterpart of every Table-1 row and every lower-bound figure; the
+//! benches in `benches/` measure throughput of the individual primitives.
+//! See `EXPERIMENTS.md` at the workspace root for the index.
+
+#![warn(missing_docs)]
+
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,63 @@
+//! Size and capacity formulas from Lemmas 6–7 and Algorithm 3.
+
+/// Lemma 7: `MBCConstruction(P, k, z, ε)` returns at most
+/// `k·(12/ε)^d + z` representatives (doubling dimension `d`).
+///
+/// Saturates at `u64::MAX` for parameter combinations whose bound
+/// overflows — the bound is a threshold, never an allocation size.
+pub fn mbc_size_bound(k: usize, z: u64, eps: f64, d: usize) -> u64 {
+    packing_bound(k, z, 12.0 / eps, d)
+}
+
+/// Algorithm 3's capacity threshold: the streaming structure re-clusters
+/// whenever it reaches `k·(16/ε)^d + z` representatives.
+pub fn streaming_capacity(k: usize, z: u64, eps: f64, d: usize) -> u64 {
+    packing_bound(k, z, 16.0 / eps, d)
+}
+
+/// Lemma 6 packing bound with an explicit ratio: a set of pairwise
+/// distance `> δ` inside an optimal solution's balls has at most
+/// `k·⌈ratio⌉^d + z` points, where `ratio = 4·opt/δ`.
+pub fn packing_bound(k: usize, z: u64, ratio: f64, d: usize) -> u64 {
+    assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive");
+    let per_ball = ratio.ceil().powi(d as i32);
+    if !per_ball.is_finite() || per_ball >= u64::MAX as f64 {
+        return u64::MAX;
+    }
+    (k as u64)
+        .saturating_mul(per_ball as u64)
+        .saturating_add(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma7_values() {
+        // k(12/ε)^d + z with ε=1, d=2, k=2, z=3: 2·144 + 3.
+        assert_eq!(mbc_size_bound(2, 3, 1.0, 2), 291);
+        // d = 0 degenerates to k + z.
+        assert_eq!(mbc_size_bound(4, 7, 0.5, 0), 11);
+    }
+
+    #[test]
+    fn capacity_larger_than_size_bound() {
+        for d in 0..4 {
+            for &eps in &[0.1, 0.5, 1.0] {
+                assert!(streaming_capacity(3, 5, eps, d) >= mbc_size_bound(3, 5, eps, d));
+            }
+        }
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        assert_eq!(mbc_size_bound(10, 0, 1e-9, 8), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_ratio() {
+        let _ = packing_bound(1, 0, 0.0, 2);
+    }
+}

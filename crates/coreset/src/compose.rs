@@ -1,0 +1,95 @@
+//! Composition of mini-ball coverings: the union property (Lemma 4) and
+//! the transitive property (Lemma 5).
+//!
+//! * **Union** — if `P` is partitioned into `P_1, …, P_s` and each `P*_i`
+//!   is an (ε,k,z_i)-mini-ball covering with `opt_{k,z_i}(P_i) ≤
+//!   opt_{k,z}(P)`, then `∪_i P*_i` is an (ε,k,z)-mini-ball covering of
+//!   `P`.  Computationally this is concatenation; the lemma's value is in
+//!   *when* it may be applied, which the MPC algorithms arrange.
+//! * **Transitive** — an (ε,·)-covering of a (γ,·)-covering of `P` is an
+//!   (ε+γ+εγ,·)-covering of `P`.  Computationally: run `MBCConstruction`
+//!   again on the representatives; [`recompress`] does exactly that and
+//!   [`composed_eps`] tracks the error product.
+
+use kcz_kcenter::charikar::GreedyParams;
+use kcz_metric::{MetricSpace, Weighted};
+
+use crate::mbc::{mbc_construction_with, MiniBallCovering};
+
+/// Lemma 4: union of mini-ball coverings is their concatenation.
+pub fn union_coverings<P>(parts: impl IntoIterator<Item = Vec<Weighted<P>>>) -> Vec<Weighted<P>> {
+    let mut out = Vec::new();
+    for mut p in parts {
+        out.append(&mut p);
+    }
+    out
+}
+
+/// Lemma 5 error composition: a (γ)-covering recompressed at error (ε)
+/// is an (ε + γ + εγ)-covering.
+pub fn composed_eps(eps: f64, gamma: f64) -> f64 {
+    eps + gamma + eps * gamma
+}
+
+/// Recompress a covering: `MBCConstruction` on the representatives
+/// (the coordinator step of every MPC algorithm in the paper).
+pub fn recompress<P: Clone, M: MetricSpace<P>>(
+    metric: &M,
+    covering: &[Weighted<P>],
+    k: usize,
+    z: u64,
+    eps: f64,
+) -> MiniBallCovering<P> {
+    mbc_construction_with(metric, covering, k, z, eps, &GreedyParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mbc::mbc_construction;
+    use kcz_metric::{total_weight, unit_weighted, L2};
+
+    #[test]
+    fn union_is_concatenation_preserving_weight() {
+        let a = unit_weighted(&[[0.0, 0.0], [1.0, 0.0]]);
+        let b = unit_weighted(&[[5.0, 0.0]]);
+        let u = union_coverings([a.clone(), b.clone()]);
+        assert_eq!(u.len(), 3);
+        assert_eq!(total_weight(&u), total_weight(&a) + total_weight(&b));
+    }
+
+    #[test]
+    fn composed_eps_matches_lemma5() {
+        assert_eq!(composed_eps(0.1, 0.2), 0.1 + 0.2 + 0.02);
+        // R-fold self-composition gives (1+ε)^R − 1 (Lemma 34).
+        let eps = 0.1;
+        let mut acc: f64 = 0.0;
+        for _ in 0..4 {
+            acc = composed_eps(eps, acc);
+        }
+        assert!((acc - (1.1f64.powi(4) - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recompress_preserves_weight_and_shrinks() {
+        let raw: Vec<[f64; 2]> = (0..60)
+            .map(|i| [(i % 2 * 40) as f64 + (i as f64) * 0.01, 0.0])
+            .collect();
+        let pts = unit_weighted(&raw);
+        let first = mbc_construction(&L2, &pts, 2, 0, 0.2);
+        let second = recompress(&L2, &first.reps, 2, 0, 0.8);
+        assert_eq!(second.total_weight(), total_weight(&pts));
+        assert!(second.len() <= first.len());
+        // Transitive covering: every original point is near a level-2 rep,
+        // within (ε+γ+εγ)·opt ≤ composed bound with opt ≤ greedy radius.
+        let bound = composed_eps(0.8, 0.2) * first.greedy_radius;
+        for p in &raw {
+            let d = second
+                .reps
+                .iter()
+                .map(|q| L2.dist(p, &q.point))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= bound + 1e-12, "point {p:?} at {d} > {bound}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Grid-accelerated mini-ball partitions for Euclidean points.
+//!
+//! The generic [`crate::update_coreset`] is `O(n²)` in the worst case; for
+//! `L2` points a hash grid with cell side `δ` restricts each absorption
+//! scan to the `3^D` neighbouring cells, which is near-linear for
+//! realistic inputs.  The output is *identical* to the generic path —
+//! absorption is set-semantics over "unabsorbed points within δ", so
+//! candidate enumeration order cannot change the result — and the
+//! equivalence is enforced by tests and the `ablation` experiment.
+
+use kcz_metric::grid::GridIndex;
+use kcz_metric::{MetricSpace, Weighted, L2};
+
+use crate::mbc::greedy_partition;
+
+/// Grid-accelerated `UpdateCoreset(Q, δ)` for Euclidean points under `L2`.
+/// Produces exactly the same output as
+/// [`crate::update_coreset`]`(&L2, points, delta)`.
+pub fn update_coreset_grid<const D: usize>(
+    points: &[Weighted<[f64; D]>],
+    delta: f64,
+) -> Vec<Weighted<[f64; D]>> {
+    assert!(delta >= 0.0, "δ must be non-negative");
+    if delta == 0.0 || points.len() < 32 {
+        // Degenerate cell side, or too small to amortise index setup.
+        return greedy_partition(&L2, points, delta);
+    }
+    let n = points.len();
+    let mut index = GridIndex::<D>::new(delta);
+    for (i, wp) in points.iter().enumerate() {
+        index.insert(&wp.point, i);
+    }
+    let mut absorbed = vec![false; n];
+    let mut reps: Vec<Weighted<[f64; D]>> = Vec::new();
+    for i in 0..n {
+        if absorbed[i] {
+            continue;
+        }
+        absorbed[i] = true;
+        index.remove(&points[i].point, i);
+        let mut weight = points[i].weight;
+        let mut taken: Vec<usize> = Vec::new();
+        index.for_each_near(&points[i].point, |j| {
+            if !absorbed[j] && L2.dist(&points[i].point, &points[j].point) <= delta {
+                taken.push(j);
+            }
+        });
+        for j in taken {
+            // `for_each_near` may visit an index once per bucket cell, so
+            // guard against double-absorption.
+            if !absorbed[j] {
+                absorbed[j] = true;
+                index.remove(&points[j].point, j);
+                weight = weight.saturating_add(points[j].weight);
+            }
+        }
+        reps.push(Weighted {
+            point: points[i].point,
+            weight,
+        });
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update_coreset;
+
+    fn pseudo_random_points(n: usize, seed: u64) -> Vec<Weighted<[f64; 2]>> {
+        let mut s = seed | 1;
+        let mut unit = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| Weighted::new([unit() * 100.0, unit() * 100.0], 1 + (i as u64 % 3)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_to_generic_path() {
+        for seed in [1u64, 7, 42] {
+            let pts = pseudo_random_points(500, seed);
+            for delta in [0.5f64, 3.0, 25.0] {
+                let naive = update_coreset(&L2, &pts, delta);
+                let fast = update_coreset_grid(&pts, delta);
+                assert_eq!(naive.len(), fast.len(), "seed={seed} δ={delta}");
+                for (a, b) in naive.iter().zip(&fast) {
+                    assert_eq!(a.point, b.point, "seed={seed} δ={delta}");
+                    assert_eq!(a.weight, b.weight, "seed={seed} δ={delta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_zero_delta_fall_back() {
+        let pts = pseudo_random_points(8, 3);
+        let out = update_coreset_grid(&pts, 0.0);
+        assert_eq!(out.len(), 8);
+        let out = update_coreset_grid(&pts, 1e9);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        let pts = vec![
+            Weighted::new([5.0, 5.0], 2),
+            Weighted::new([5.0, 5.0], 3),
+            Weighted::new([50.0, 50.0], 1),
+        ];
+        let out = update_coreset_grid(&pts, 1.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].weight, 5);
+    }
+}

@@ -1,0 +1,378 @@
+//! The greedy 3-approximation for k-center with outliers of Charikar,
+//! Khuller, Mount and Narasimhan (SODA 2001) — `Greedy(P, k, z)` in the
+//! paper — in its weighted form.
+//!
+//! For a guessed radius `r` the algorithm repeatedly picks the point whose
+//! `r`-ball covers the most uncovered weight and discards everything within
+//! `3r` of it; the guess is feasible when, after `k` picks, the uncovered
+//! weight is at most `z`.  The smallest feasible guess `r̂` over a candidate
+//! set satisfies `r̂ ≤ opt`, so the produced solution with radius `3r̂`
+//! certifies `opt ≤ radius ≤ 3·opt` — exactly the property Lemmas 7 and 8
+//! of the paper consume.
+//!
+//! Candidate radii: for small inputs we binary-search the exact sorted set
+//! of pairwise distances (the classical formulation); for large inputs we
+//! binary-search a geometric grid with resolution `1+η`, degrading the
+//! guarantee to `3(1+η)·opt` (substitution #2 in `DESIGN.md`).
+
+use kcz_metric::{MetricSpace, Weighted};
+
+use crate::cost::cost_with_outliers;
+
+/// Tuning knobs for [`greedy_with`].
+#[derive(Debug, Clone)]
+pub struct GreedyParams {
+    /// Use the exact pairwise-distance candidate set when `n` is at most
+    /// this; otherwise use a geometric grid.
+    pub exact_candidates_max_n: usize,
+    /// Resolution `1+η` of the geometric candidate grid.
+    pub geometric_step: f64,
+    /// Precompute the full distance matrix when `n` is at most this.
+    pub matrix_max_n: usize,
+}
+
+impl Default for GreedyParams {
+    fn default() -> Self {
+        GreedyParams {
+            exact_candidates_max_n: 600,
+            geometric_step: 1.01,
+            matrix_max_n: 1500,
+        }
+    }
+}
+
+/// Output of [`greedy`].
+#[derive(Debug, Clone)]
+pub struct GreedySolution<P> {
+    /// At most `k` centers (a subset of the input points).
+    pub centers: Vec<P>,
+    /// Certified covering radius: all but outlier-weight ≤ `z` of the input
+    /// lies within `radius` of a center, and `opt ≤ radius ≤ 3(1+η)·opt`.
+    pub radius: f64,
+    /// The feasible guess `r̂` the search settled on (`radius ≤ 3·r̂`).
+    pub guess: f64,
+    /// Uncovered weight of the returned solution (≤ `z`).
+    pub uncovered: u64,
+}
+
+/// `Greedy(P, k, z)` with default parameters.  See [`greedy_with`].
+pub fn greedy<P: Clone, M: MetricSpace<P>>(
+    metric: &M,
+    points: &[Weighted<P>],
+    k: usize,
+    z: u64,
+) -> GreedySolution<P> {
+    greedy_with(metric, points, k, z, &GreedyParams::default())
+}
+
+/// The weighted Charikar-et-al. greedy.
+///
+/// Returns an empty solution with radius `0` when the entire weight fits in
+/// the outlier budget, and panics if `k == 0` while weight must be covered.
+pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
+    metric: &M,
+    points: &[Weighted<P>],
+    k: usize,
+    z: u64,
+    params: &GreedyParams,
+) -> GreedySolution<P> {
+    let n = points.len();
+    let total: u64 = points.iter().map(|p| p.weight).sum();
+    if total <= z || n == 0 {
+        return GreedySolution {
+            centers: Vec::new(),
+            radius: 0.0,
+            guess: 0.0,
+            uncovered: total,
+        };
+    }
+    assert!(k > 0, "k must be positive when weight must be covered");
+
+    let weights: Vec<u64> = points.iter().map(|p| p.weight).collect();
+
+    // Distance oracle: full matrix for small inputs, on-the-fly otherwise.
+    let matrix: Option<Vec<f64>> = if n <= params.matrix_max_n {
+        let mut m = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = metric.dist(&points[i].point, &points[j].point);
+                m[i * n + j] = d;
+                m[j * n + i] = d;
+            }
+        }
+        Some(m)
+    } else {
+        None
+    };
+    let dist = |i: usize, j: usize| -> f64 {
+        match &matrix {
+            Some(m) => m[i * n + j],
+            None => metric.dist(&points[i].point, &points[j].point),
+        }
+    };
+
+    let candidates = candidate_radii(&dist, n, params);
+    debug_assert!(!candidates.is_empty());
+
+    // Feasibility is monotone in r for the guarantee's purposes: the
+    // largest candidate (≥ diameter) always succeeds with one center.
+    let mut lo = 0usize;
+    let mut hi = candidates.len() - 1;
+    let mut best: Option<(usize, Vec<usize>)> = None;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        match disk_greedy(&dist, &weights, k, z, candidates[mid]) {
+            Some(centers) => {
+                best = Some((mid, centers));
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            }
+            None => {
+                lo = mid + 1;
+            }
+        }
+    }
+    let (idx, center_idx) = best.unwrap_or_else(|| {
+        // The diameter guess must succeed; recompute defensively.
+        let last = candidates.len() - 1;
+        let c = disk_greedy(&dist, &weights, k, z, candidates[last])
+            .expect("diameter-radius guess must be feasible");
+        (last, c)
+    });
+    let guess = candidates[idx];
+    let centers: Vec<P> = center_idx
+        .iter()
+        .map(|&i| points[i].point.clone())
+        .collect();
+    // Tighten the certified 3·r̂ to the measured cost of this center set.
+    let measured = cost_with_outliers(metric, points, &centers, z);
+    let radius = measured.min(3.0 * guess);
+    let uncovered = crate::cost::uncovered_weight(metric, points, &centers, radius);
+    GreedySolution {
+        centers,
+        radius,
+        guess,
+        uncovered,
+    }
+}
+
+/// Candidate radii for the binary search, ascending, first element `0`.
+fn candidate_radii(dist: &impl Fn(usize, usize) -> f64, n: usize, params: &GreedyParams) -> Vec<f64> {
+    if n <= params.exact_candidates_max_n {
+        let mut c = Vec::with_capacity(n * (n - 1) / 2 + 1);
+        c.push(0.0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                c.push(dist(i, j));
+            }
+        }
+        c.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN distances"));
+        c.dedup();
+        c
+    } else {
+        // Upper bound on the diameter: 2 × the eccentricity of point 0.
+        let ecc = (1..n).map(|j| dist(0, j)).fold(0.0f64, f64::max);
+        let hi = (2.0 * ecc).max(f64::MIN_POSITIVE);
+        // Lower bound: smallest positive distance within a sample.
+        let sample = 512.min(n);
+        let mut lo = f64::INFINITY;
+        for i in 0..sample {
+            for j in (i + 1)..sample {
+                let d = dist(i, j);
+                if d > 0.0 && d < lo {
+                    lo = d;
+                }
+            }
+        }
+        if !lo.is_finite() || lo <= 0.0 {
+            lo = hi * 1e-9;
+        }
+        lo = lo.min(hi);
+        let step = params.geometric_step.max(1.0 + 1e-6);
+        let mut c = vec![0.0, lo];
+        let mut r = lo;
+        while r < hi {
+            r *= step;
+            c.push(r.min(hi));
+        }
+        c
+    }
+}
+
+/// One feasibility test of the Charikar greedy at radius guess `r`:
+/// greedily pick up to `k` disk centers; return their indices if the
+/// uncovered weight ends up ≤ `z`.
+///
+/// `O(n²)` total: gains are maintained incrementally as points get covered.
+fn disk_greedy(
+    dist: &impl Fn(usize, usize) -> f64,
+    weights: &[u64],
+    k: usize,
+    z: u64,
+    r: f64,
+) -> Option<Vec<usize>> {
+    let n = weights.len();
+    let mut covered = vec![false; n];
+    let mut uncovered_total: u64 = weights.iter().sum();
+    // gain[p] = uncovered weight within distance r of p.
+    let mut gain: Vec<u64> = vec![0; n];
+    for (p, gp) in gain.iter_mut().enumerate() {
+        let mut g = 0u64;
+        for (q, &wq) in weights.iter().enumerate() {
+            if dist(p, q) <= r {
+                g += wq;
+            }
+        }
+        *gp = g;
+    }
+    let mut centers = Vec::with_capacity(k);
+    for _ in 0..k {
+        if uncovered_total <= z {
+            break;
+        }
+        let (best, &g) = gain
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, g)| *g)
+            .expect("non-empty gains");
+        if g == 0 {
+            // No r-ball covers any uncovered weight; more centers cannot help.
+            break;
+        }
+        centers.push(best);
+        for q in 0..n {
+            if !covered[q] && dist(best, q) <= 3.0 * r {
+                covered[q] = true;
+                uncovered_total -= weights[q];
+                // q leaves every gain it contributed to.
+                for (p, gp) in gain.iter_mut().enumerate() {
+                    if dist(p, q) <= r {
+                        *gp -= weights[q];
+                    }
+                }
+            }
+        }
+    }
+    if uncovered_total <= z {
+        Some(centers)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_metric::{unit_weighted, L2};
+
+    /// Two tight clusters plus two far outliers.
+    fn instance() -> Vec<Weighted<[f64; 2]>> {
+        let mut raw = vec![];
+        for i in 0..10 {
+            raw.push([i as f64 * 0.1, 0.0]);
+            raw.push([100.0 + i as f64 * 0.1, 0.0]);
+        }
+        raw.push([1000.0, 0.0]);
+        raw.push([-1000.0, 0.0]);
+        unit_weighted(&raw)
+    }
+
+    #[test]
+    fn respects_outlier_budget() {
+        let pts = instance();
+        let sol = greedy(&L2, &pts, 2, 2);
+        assert!(sol.uncovered <= 2);
+        // With the two outliers excluded, each cluster has diameter 0.9.
+        assert!(sol.radius <= 3.0 * 0.9 + 1e-9, "radius {}", sol.radius);
+        assert_eq!(sol.centers.len(), 2);
+    }
+
+    #[test]
+    fn without_budget_must_cover_outliers() {
+        let pts = instance();
+        let sol = greedy(&L2, &pts, 2, 0);
+        // Any 2-center solution covering the ±1000 points has radius ≥ ~500.
+        assert!(sol.radius >= 500.0, "radius {}", sol.radius);
+        assert_eq!(sol.uncovered, 0);
+    }
+
+    #[test]
+    fn weighted_outliers() {
+        let mut pts = instance();
+        // Make one "outlier" too heavy to discard.
+        pts[20].weight = 5; // the [1000, 0] point
+        let sol = greedy(&L2, &pts, 2, 2);
+        // Covering the weight-5 point costs one center, so the two clusters
+        // share the other: opt ≈ 101, and uncovered ≤ 2 forces coverage of
+        // the heavy point.
+        assert!(sol.uncovered <= 2);
+        assert!(sol.radius >= 99.0, "radius {}", sol.radius);
+        assert!(sol.radius <= 3.03 * 101.0, "radius {}", sol.radius);
+    }
+
+    #[test]
+    fn all_points_outliers() {
+        let pts = unit_weighted(&[[0.0, 0.0], [1.0, 1.0]]);
+        let sol = greedy(&L2, &pts, 3, 2);
+        assert_eq!(sol.radius, 0.0);
+        assert!(sol.centers.is_empty());
+    }
+
+    #[test]
+    fn duplicates_and_k_ge_distinct() {
+        let pts = unit_weighted(&[[0.0, 0.0], [0.0, 0.0], [5.0, 0.0]]);
+        let sol = greedy(&L2, &pts, 2, 0);
+        assert_eq!(sol.radius, 0.0);
+        assert!(sol.uncovered == 0);
+    }
+
+    #[test]
+    fn three_approx_vs_exact_small() {
+        // 3 clusters, k=3, z=1; opt is the in-cluster radius.
+        let raw = vec![
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [50.0, 0.0],
+            [51.0, 0.0],
+            [100.0, 0.0],
+            [101.0, 0.0],
+            [500.0, 0.0], // outlier
+        ];
+        let pts = unit_weighted(&raw);
+        let sol = greedy(&L2, &pts, 3, 1);
+        // opt = 0.5 with centers anywhere, 1.0 with centers in P.
+        assert!(sol.radius <= 3.0, "radius {}", sol.radius);
+        assert!(sol.uncovered <= 1);
+    }
+
+    #[test]
+    fn geometric_path_matches_exact_path_shape() {
+        let pts = instance();
+        let exact = greedy_with(
+            &L2,
+            &pts,
+            2,
+            2,
+            &GreedyParams {
+                exact_candidates_max_n: 1000,
+                ..Default::default()
+            },
+        );
+        let geo = greedy_with(
+            &L2,
+            &pts,
+            2,
+            2,
+            &GreedyParams {
+                exact_candidates_max_n: 0,
+                matrix_max_n: 0,
+                ..Default::default()
+            },
+        );
+        assert!(geo.uncovered <= 2);
+        // Both certify a 3(1+η)-approximation of the same opt.
+        assert!(geo.radius <= 3.03 * exact.radius.max(0.45) + 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! Clustering-cost evaluation for weighted point sets with outliers.
+
+use kcz_metric::{MetricSpace, Weighted};
+
+/// Total weight of points farther than `r` from every center.
+///
+/// This is the outlier weight of the solution `(centers, r)`; the solution
+/// is feasible for the k-center problem with `z` outliers iff the result is
+/// at most `z`.
+pub fn uncovered_weight<P, M: MetricSpace<P>>(
+    metric: &M,
+    points: &[Weighted<P>],
+    centers: &[P],
+    r: f64,
+) -> u64 {
+    let mut total = 0u64;
+    for wp in points {
+        let covered = centers.iter().any(|c| metric.dist(&wp.point, c) <= r);
+        if !covered {
+            total = total.saturating_add(wp.weight);
+        }
+    }
+    total
+}
+
+/// The smallest radius `r` such that balls of radius `r` around `centers`
+/// cover all of `points` except for total weight at most `z`.
+///
+/// Runs in `O(n·k + n log n)`.  Returns `0.0` when the point set is empty
+/// or its entire weight fits in the outlier budget.  Panics if `centers`
+/// is empty while some weight must be covered.
+pub fn cost_with_outliers<P, M: MetricSpace<P>>(
+    metric: &M,
+    points: &[Weighted<P>],
+    centers: &[P],
+    z: u64,
+) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = points.iter().map(|p| p.weight).sum();
+    if total <= z {
+        return 0.0;
+    }
+    assert!(
+        !centers.is_empty(),
+        "no centers given but {} weight must be covered",
+        total - z
+    );
+    // Distance of every point to its nearest center, paired with weight.
+    let mut dists: Vec<(f64, u64)> = points
+        .iter()
+        .map(|wp| {
+            let d = centers
+                .iter()
+                .map(|c| metric.dist(&wp.point, c))
+                .fold(f64::INFINITY, f64::min);
+            (d, wp.weight)
+        })
+        .collect();
+    // Walk from the farthest point inward, spending the outlier budget on
+    // the farthest points; the radius is the distance of the first point
+    // that no longer fits in the budget.
+    dists.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("non-NaN distances"));
+    let mut budget = z;
+    for &(d, w) in &dists {
+        if w > budget {
+            return d;
+        }
+        budget -= w;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_metric::{unit_weighted, L2};
+
+    fn pts() -> Vec<Weighted<[f64; 2]>> {
+        unit_weighted(&[
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [2.0, 0.0],
+            [10.0, 0.0],
+            [11.0, 0.0],
+            [100.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn cost_no_outliers() {
+        let p = pts();
+        let centers = vec![[1.0, 0.0], [10.5, 0.0]];
+        // Farthest point is [100,0] at distance 89.5 from the second center.
+        assert_eq!(cost_with_outliers(&L2, &p, &centers, 0), 89.5);
+    }
+
+    #[test]
+    fn cost_with_budget() {
+        let p = pts();
+        let centers = vec![[1.0, 0.0], [10.5, 0.0]];
+        // One outlier removes [100,0]; radius shrinks to 1 ([2,0] or [0,0]).
+        assert_eq!(cost_with_outliers(&L2, &p, &centers, 1), 1.0);
+    }
+
+    #[test]
+    fn cost_weighted_budget() {
+        let mut p = pts();
+        p[5].weight = 3; // the far point now weighs 3
+        let centers = vec![[1.0, 0.0], [10.5, 0.0]];
+        // z = 2 cannot exclude a weight-3 point.
+        assert_eq!(cost_with_outliers(&L2, &p, &centers, 2), 89.5);
+        assert_eq!(cost_with_outliers(&L2, &p, &centers, 3), 1.0);
+    }
+
+    #[test]
+    fn whole_set_can_be_outliers() {
+        let p = pts();
+        assert_eq!(cost_with_outliers(&L2, &p, &[], 6), 0.0);
+        assert_eq!(cost_with_outliers::<[f64; 2], _>(&L2, &[], &[], 0), 0.0);
+    }
+
+    #[test]
+    fn uncovered_counts_weights() {
+        let mut p = pts();
+        p[0].weight = 5;
+        let centers = vec![[10.5, 0.0]];
+        // Within radius 1: [10,0] and [11,0]. Uncovered: 5+1+1+1 = 8.
+        assert_eq!(uncovered_weight(&L2, &p, &centers, 1.0), 8);
+        assert_eq!(uncovered_weight(&L2, &p, &centers, 1000.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no centers")]
+    fn empty_centers_with_weight_panics() {
+        let p = pts();
+        let _ = cost_with_outliers(&L2, &p, &[], 0);
+    }
+}

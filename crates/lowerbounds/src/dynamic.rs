@@ -1,0 +1,190 @@
+//! Theorem 28's fully-dynamic lower-bound construction
+//! (`Ω((k/ε^d)·log Δ + z)`), in dimension 2 over the discrete universe
+//! `[Δ]²`.
+//!
+//! Each of the `k − 2d + 1` clusters stacks `g = ½·log Δ − 2` *groups*:
+//! group `m` is the `(λ+1)²` integer grid scaled by `2^m`, minus the
+//! lexicographically smallest octant, which recursively hosts the groups
+//! `m−1, …, 1`.  Deleting all groups `≥ m*` and probing near a dropped
+//! point of group `m*` breaks any algorithm that stored fewer than
+//! `Ω((k/ε²)·log Δ)` points — the adversary can aim at *any* scale, so
+//! every scale must be retained.  The deletion schedule here lets the
+//! experiments drive exactly that interaction against Algorithm 5.
+
+/// The Theorem 28 construction (d = 2).
+#[derive(Debug, Clone)]
+pub struct DynamicLb {
+    /// Universe exponent: coordinates lie in `[0, 2^side_bits)`.
+    pub side_bits: u32,
+    /// `clusters[i][m-1]` = the points of group `G_i^m`.
+    pub clusters: Vec<Vec<Vec<[u64; 2]>>>,
+    /// The `z` outlier points.
+    pub outliers: Vec<[u64; 2]>,
+    /// Grid parameter `λ` (even, ≥ 2).
+    pub lambda: usize,
+    /// Number of groups per cluster (`g = ½ log Δ − 2`, at least 1).
+    pub g: usize,
+    /// Target `k`.
+    pub k: usize,
+    /// Target `z`.
+    pub z: usize,
+}
+
+impl DynamicLb {
+    /// Builds the construction.  Panics if the geometry does not fit into
+    /// `[0, 2^side_bits)²` for the requested parameters.
+    pub fn new(k: usize, z: usize, eps: f64, side_bits: u32) -> Self {
+        const D: usize = 2;
+        assert!(k >= 2 * D, "Theorem 28 needs k ≥ 2d");
+        assert!(eps > 0.0 && eps <= 1.0);
+        assert!(side_bits >= 6, "universe too small for any group");
+        // λ = 1/(4dε), rounded to an even integer ≥ 2 (the proof assumes
+        // λ/2 ∈ N).
+        let lambda = {
+            let raw = (1.0 / (4.0 * D as f64 * eps)).round() as usize;
+            (raw.max(2) + 1) & !1usize
+        };
+        let h = D as f64 * (lambda as f64 + 2.0) / 2.0;
+        let r = (h * h - 2.0 * h + D as f64).sqrt();
+        let g = ((side_bits as usize) / 2).saturating_sub(2).max(1);
+        let spacing = (1u64 << (g + 2)) * (h + r).ceil() as u64;
+        let cluster_extent = (lambda as u64) << g;
+
+        let n_clusters = k - 2 * D + 1;
+        let side = 1u64 << side_bits;
+        let total_extent =
+            (z as u64 + n_clusters as u64) * spacing + cluster_extent + spacing;
+        assert!(
+            total_extent < side,
+            "construction width {total_extent} exceeds universe side {side}; \
+             increase side_bits or decrease k/z/λ"
+        );
+
+        // Outliers first (left of the clusters), all on one row.
+        let mut outliers = Vec::with_capacity(z);
+        for i in 0..z {
+            outliers.push([(i as u64) * spacing, 0]);
+        }
+        let cluster_base = (z as u64) * spacing + spacing;
+
+        let half = lambda / 2;
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for c in 0..n_clusters {
+            let ox = cluster_base + (c as u64) * (cluster_extent + spacing);
+            let mut groups = Vec::with_capacity(g);
+            for m in 1..=g {
+                let step = 1u64 << m;
+                let mut pts = Vec::new();
+                for x in 0..=lambda {
+                    for y in 0..=lambda {
+                        // Omit the lexicographically smallest octant: it
+                        // hosts the smaller-scale groups.
+                        if x <= half && y <= half {
+                            continue;
+                        }
+                        pts.push([ox + x as u64 * step, y as u64 * step]);
+                    }
+                }
+                groups.push(pts);
+            }
+            clusters.push(groups);
+        }
+        DynamicLb {
+            side_bits,
+            clusters,
+            outliers,
+            lambda,
+            g,
+            k,
+            z,
+        }
+    }
+
+    /// Points per group: `(λ+1)² − (λ/2+1)² = Ω(1/ε²)`.
+    pub fn group_size(&self) -> usize {
+        (self.lambda + 1).pow(2) - (self.lambda / 2 + 1).pow(2)
+    }
+
+    /// All points in insertion order (outliers, then clusters by group).
+    pub fn all_points(&self) -> Vec<[u64; 2]> {
+        let mut out = self.outliers.clone();
+        for c in &self.clusters {
+            for grp in c {
+                out.extend_from_slice(grp);
+            }
+        }
+        out
+    }
+
+    /// Total number of points: `(k−2d+1)·g·group_size + z` — the
+    /// `Ω((k/ε²)·log Δ + z)` quantity.
+    pub fn n_points(&self) -> usize {
+        self.clusters.len() * self.g * self.group_size() + self.z
+    }
+
+    /// The adversary's deletion list for scale `m*` (1-based): every point
+    /// of every group `m ≥ m*` in every cluster.
+    pub fn deletion_schedule(&self, m_star: usize) -> Vec<[u64; 2]> {
+        assert!(m_star >= 1 && m_star <= self.g);
+        let mut out = Vec::new();
+        for c in &self.clusters {
+            for grp in &c[m_star - 1..] {
+                out.extend_from_slice(grp);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        let lb = DynamicLb::new(5, 3, 0.125, 16);
+        // λ = 1/(8·0.125) = round(1) → max(2) even → 2; group size 9−4 = 5.
+        assert_eq!(lb.lambda, 2);
+        assert_eq!(lb.group_size(), 5);
+        assert_eq!(lb.clusters.len(), 2);
+        assert_eq!(lb.g, 6);
+        assert_eq!(lb.n_points(), 2 * 6 * 5 + 3);
+        assert_eq!(lb.all_points().len(), lb.n_points());
+    }
+
+    #[test]
+    fn all_points_inside_universe() {
+        let lb = DynamicLb::new(6, 4, 0.125, 18);
+        let side = 1u64 << 18;
+        for p in lb.all_points() {
+            assert!(p[0] < side && p[1] < side, "{p:?} outside [0,{side})²");
+        }
+    }
+
+    #[test]
+    fn groups_scale_geometrically() {
+        let lb = DynamicLb::new(4, 1, 0.125, 16);
+        let g1 = &lb.clusters[0][0];
+        let g2 = &lb.clusters[0][1];
+        // Group m has grid step 2^m: y-extent doubles between groups.
+        let ymax1 = g1.iter().map(|p| p[1]).max().unwrap();
+        let ymax2 = g2.iter().map(|p| p[1]).max().unwrap();
+        assert_eq!(ymax2, 2 * ymax1);
+    }
+
+    #[test]
+    fn deletion_schedule_takes_suffix() {
+        let lb = DynamicLb::new(5, 2, 0.125, 16);
+        let all = lb.deletion_schedule(1);
+        assert_eq!(all.len(), lb.clusters.len() * lb.g * lb.group_size());
+        let top = lb.deletion_schedule(lb.g);
+        assert_eq!(top.len(), lb.clusters.len() * lb.group_size());
+        assert!(top.len() < all.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds universe")]
+    fn oversized_construction_rejected() {
+        let _ = DynamicLb::new(40, 400, 0.01, 10);
+    }
+}

@@ -1,0 +1,28 @@
+//! Adversarial instance generators realising the paper's lower-bound
+//! constructions.
+//!
+//! The paper proves four space lower bounds; each proof is a concrete
+//! family of point sets plus an adversarial continuation ("probes") that
+//! punishes any algorithm storing less than the bound.  These modules
+//! build those families so the experiments can (a) feed them to the
+//! actual algorithms and watch the predicted space materialise, and
+//! (b) verify the constructions' geometric claims with the exact solver:
+//!
+//! * [`insertion`] — Lemma 12's grid-cluster construction
+//!   (`Ω(k/ε^d)`) and Lemma 15's 1-D construction (`Ω(k+z)`), together
+//!   giving Theorem 11's `Ω(k/ε^d + z)`;
+//! * [`dynamic`] — Theorem 28's scaled-group construction with a deletion
+//!   schedule (`Ω((k/ε^d)·log Δ + z)`);
+//! * [`sliding`] — Theorem 30's group/subgroup construction
+//!   (`Ω((kz/ε^d)·log σ)`), the bound showing the de Berg–Monemizadeh–
+//!   Zhong algorithm optimal.
+
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod insertion;
+pub mod sliding;
+
+pub use dynamic::DynamicLb;
+pub use insertion::{line_lb, InsertionLb};
+pub use sliding::SlidingLb;

@@ -1,0 +1,207 @@
+//! Metric-space foundations for the k-center-with-outliers suite.
+//!
+//! The paper ("k-Center Clustering with Outliers in the MPC and Streaming
+//! Model", de Berg, Biabani, Monemizadeh, IPDPS 2023) works in an abstract
+//! metric space `(X, dist)` of doubling dimension `d`.  This crate provides:
+//!
+//! * point types: fixed-dimension Euclidean points (`[f64; D]`), discrete
+//!   grid points from `[Δ]^d` (`[u64; D]`), and a generic [`MetricSpace`]
+//!   trait so every algorithm upstream is metric-agnostic;
+//! * metrics: [`L2`], [`Linf`], and their discrete-grid counterparts;
+//! * [`Weighted`] points with positive integer weights (the paper's weighted
+//!   k-center formulation, Section 1);
+//! * utilities used throughout: pairwise-distance extrema, spread
+//!   (the ratio σ of Section 6), bounding boxes, and a bucket
+//!   [`grid::GridIndex`] used to accelerate mini-ball constructions;
+//! * [`SpaceUsage`], the word-accounting trait backing every storage
+//!   measurement reported by the MPC simulator and the streaming
+//!   algorithms.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod space;
+pub mod stats;
+pub mod weighted;
+
+pub use space::SpaceUsage;
+pub use weighted::{total_weight, unit_weighted, Weighted};
+
+/// A metric over points of type `P`.
+///
+/// Implementations must satisfy the metric axioms (identity, symmetry,
+/// triangle inequality); the property tests in this crate check them on the
+/// provided implementations.  `doubling_dim` reports the doubling dimension
+/// `d` of the space, which the paper's algorithms use solely to compute
+/// capacity thresholds such as `k(16/ε)^d + z` (Algorithm 3) — it never
+/// affects correctness of the constructions, only their size bounds.
+pub trait MetricSpace<P>: Send + Sync {
+    /// Distance between `a` and `b`.
+    fn dist(&self, a: &P, b: &P) -> f64;
+
+    /// Doubling dimension of the space (a constant per the paper).
+    fn doubling_dim(&self) -> usize;
+}
+
+/// Euclidean (`L2`) metric over fixed-dimension points `[f64; D]`.
+///
+/// The doubling dimension of `R^D` under `L2` is `Θ(D)`; we report `D`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2;
+
+impl<const D: usize> MetricSpace<[f64; D]> for L2 {
+    #[inline]
+    fn dist(&self, a: &[f64; D], b: &[f64; D]) -> f64 {
+        let mut s = 0.0;
+        for i in 0..D {
+            let d = a[i] - b[i];
+            s += d * d;
+        }
+        s.sqrt()
+    }
+
+    #[inline]
+    fn doubling_dim(&self) -> usize {
+        D
+    }
+}
+
+/// Chebyshev (`L∞`) metric over fixed-dimension points `[f64; D]`.
+///
+/// Section 6 of the paper proves the sliding-window lower bound under `L∞`;
+/// the doubling dimension of `R^D` under `L∞` is exactly `D`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Linf;
+
+impl<const D: usize> MetricSpace<[f64; D]> for Linf {
+    #[inline]
+    fn dist(&self, a: &[f64; D], b: &[f64; D]) -> f64 {
+        let mut m = 0.0f64;
+        for i in 0..D {
+            let d = (a[i] - b[i]).abs();
+            if d > m {
+                m = d;
+            }
+        }
+        m
+    }
+
+    #[inline]
+    fn doubling_dim(&self) -> usize {
+        D
+    }
+}
+
+/// Euclidean metric over discrete grid points `[u64; D]` from `[Δ]^D`
+/// (the universe of the fully dynamic streaming algorithm, Section 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridL2;
+
+impl<const D: usize> MetricSpace<[u64; D]> for GridL2 {
+    #[inline]
+    fn dist(&self, a: &[u64; D], b: &[u64; D]) -> f64 {
+        let mut s = 0.0;
+        for i in 0..D {
+            let d = a[i] as f64 - b[i] as f64;
+            s += d * d;
+        }
+        s.sqrt()
+    }
+
+    #[inline]
+    fn doubling_dim(&self) -> usize {
+        D
+    }
+}
+
+/// `L∞` metric over discrete grid points `[u64; D]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridLinf;
+
+impl<const D: usize> MetricSpace<[u64; D]> for GridLinf {
+    #[inline]
+    fn dist(&self, a: &[u64; D], b: &[u64; D]) -> f64 {
+        let mut m = 0.0f64;
+        for i in 0..D {
+            let d = (a[i] as f64 - b[i] as f64).abs();
+            if d > m {
+                m = d;
+            }
+        }
+        m
+    }
+
+    #[inline]
+    fn doubling_dim(&self) -> usize {
+        D
+    }
+}
+
+/// One-dimensional Euclidean metric over bare `f64` values.
+///
+/// The `Ω(k + z)` lower bound of Lemma 15 lives on the real line; this
+/// metric lets those instances avoid the `[f64; 1]` wrapper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Line;
+
+impl MetricSpace<f64> for Line {
+    #[inline]
+    fn dist(&self, a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[inline]
+    fn doubling_dim(&self) -> usize {
+        1
+    }
+}
+
+/// Converts a discrete grid point into the Euclidean point at its location.
+#[inline]
+pub fn grid_to_euclid<const D: usize>(p: &[u64; D]) -> [f64; D] {
+    let mut out = [0.0; D];
+    for i in 0..D {
+        out[i] = p[i] as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basic() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(L2.dist(&a, &b), 5.0);
+        assert_eq!(L2.dist(&a, &a), 0.0);
+        assert_eq!(<L2 as MetricSpace<[f64; 2]>>::doubling_dim(&L2), 2);
+    }
+
+    #[test]
+    fn linf_basic() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, -7.0, 3.0];
+        assert_eq!(Linf.dist(&a, &b), 7.0);
+        assert!(Linf.dist(&a, &b) <= L2.dist(&a, &b));
+    }
+
+    #[test]
+    fn grid_metrics_agree_with_continuous() {
+        let a = [1u64, 2];
+        let b = [4u64, 6];
+        assert_eq!(GridL2.dist(&a, &b), 5.0);
+        assert_eq!(GridLinf.dist(&a, &b), 4.0);
+        assert_eq!(
+            GridL2.dist(&a, &b),
+            L2.dist(&grid_to_euclid(&a), &grid_to_euclid(&b))
+        );
+    }
+
+    #[test]
+    fn line_metric() {
+        assert_eq!(Line.dist(&3.0, &-2.0), 5.0);
+        assert_eq!(Line.doubling_dim(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Storage accounting in machine words.
+//!
+//! Table 1 of the paper compares algorithms by their storage bounds, so the
+//! simulator and the streaming structures must report how much they hold.
+//! We count *words*: one word per `f64` coordinate, per `u64` weight, per
+//! counter.  This matches the paper's convention of measuring storage in
+//! units of points/numbers rather than bits.
+
+/// Types that can report their storage footprint in machine words.
+pub trait SpaceUsage {
+    /// Number of machine words this value occupies, counting only payload
+    /// (coordinates, weights, counters), not allocator overhead.
+    fn words(&self) -> usize;
+}
+
+impl SpaceUsage for f64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl SpaceUsage for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl SpaceUsage for i64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl SpaceUsage for usize {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl<const D: usize> SpaceUsage for [f64; D] {
+    fn words(&self) -> usize {
+        D
+    }
+}
+
+impl<const D: usize> SpaceUsage for [u64; D] {
+    fn words(&self) -> usize {
+        D
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(SpaceUsage::words).sum()
+    }
+}
+
+impl<T: SpaceUsage> SpaceUsage for Option<T> {
+    fn words(&self) -> usize {
+        self.as_ref().map_or(0, SpaceUsage::words)
+    }
+}
+
+impl<A: SpaceUsage, B: SpaceUsage> SpaceUsage for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_words() {
+        assert_eq!(1.0f64.words(), 1);
+        assert_eq!(3u64.words(), 1);
+        assert_eq!([0.0f64; 3].words(), 3);
+    }
+
+    #[test]
+    fn container_words() {
+        let v: Vec<[f64; 2]> = vec![[0.0; 2]; 5];
+        assert_eq!(v.words(), 10);
+        let o: Option<u64> = None;
+        assert_eq!(o.words(), 0);
+        assert_eq!(Some(4u64).words(), 1);
+        assert_eq!((1.0f64, 2u64).words(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Point-set statistics: distance extrema, spread, bounding boxes.
+//!
+//! The spread ratio σ (largest over smallest pairwise distance) governs the
+//! sliding-window bounds of Section 6; bounding boxes size the discrete
+//! universe `[Δ]^d` of Section 5.
+
+use crate::MetricSpace;
+
+/// Minimum pairwise distance over all distinct pairs; `None` for sets with
+/// fewer than two points.  Pairs at distance exactly `0` (duplicates) are
+/// ignored, mirroring the paper's convention that σ is the ratio of the
+/// largest and smallest distance *between any two points*.
+pub fn min_pairwise_distance<P, M: MetricSpace<P>>(metric: &M, pts: &[P]) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            let d = metric.dist(&pts[i], &pts[j]);
+            if d > 0.0 && best.is_none_or(|b| d < b) {
+                best = Some(d);
+            }
+        }
+    }
+    best
+}
+
+/// Maximum pairwise distance (diameter); `None` for sets with fewer than two
+/// points.
+pub fn max_pairwise_distance<P, M: MetricSpace<P>>(metric: &M, pts: &[P]) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            let d = metric.dist(&pts[i], &pts[j]);
+            if best.is_none_or(|b| d > b) {
+                best = Some(d);
+            }
+        }
+    }
+    best
+}
+
+/// Spread σ = max pairwise distance / min positive pairwise distance.
+///
+/// Returns `None` when the set has fewer than two distinct points.
+pub fn spread<P, M: MetricSpace<P>>(metric: &M, pts: &[P]) -> Option<f64> {
+    let min = min_pairwise_distance(metric, pts)?;
+    let max = max_pairwise_distance(metric, pts)?;
+    Some(max / min)
+}
+
+/// Axis-aligned bounding box of Euclidean points: `(low, high)` per axis.
+pub fn bounding_box<const D: usize>(pts: &[[f64; D]]) -> Option<([f64; D], [f64; D])> {
+    let first = pts.first()?;
+    let mut lo = *first;
+    let mut hi = *first;
+    for p in &pts[1..] {
+        for i in 0..D {
+            lo[i] = lo[i].min(p[i]);
+            hi[i] = hi[i].max(p[i]);
+        }
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::L2;
+
+    #[test]
+    fn extremes_and_spread() {
+        let pts = vec![[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]];
+        assert_eq!(min_pairwise_distance(&L2, &pts), Some(1.0));
+        assert_eq!(max_pairwise_distance(&L2, &pts), Some(10.0));
+        assert_eq!(spread(&L2, &pts), Some(10.0));
+    }
+
+    #[test]
+    fn duplicates_ignored_for_min() {
+        let pts = vec![[0.0, 0.0], [0.0, 0.0], [2.0, 0.0]];
+        assert_eq!(min_pairwise_distance(&L2, &pts), Some(2.0));
+    }
+
+    #[test]
+    fn degenerate_sets() {
+        let empty: Vec<[f64; 2]> = vec![];
+        assert_eq!(spread(&L2, &empty), None);
+        let single = vec![[1.0, 1.0]];
+        assert_eq!(spread(&L2, &single), None);
+        let all_same = vec![[1.0, 1.0]; 4];
+        assert_eq!(min_pairwise_distance(&L2, &all_same), None);
+    }
+
+    #[test]
+    fn bbox() {
+        let pts = vec![[0.0, 5.0], [2.0, -1.0], [1.0, 3.0]];
+        let (lo, hi) = bounding_box(&pts).unwrap();
+        assert_eq!(lo, [0.0, -1.0]);
+        assert_eq!(hi, [2.0, 5.0]);
+        assert!(bounding_box::<2>(&[]).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Weighted points: the paper's weighted k-center formulation.
+//!
+//! In the weighted version of the problem (Section 1) every point carries a
+//! positive integer weight and the *total weight* of the outliers must be at
+//! most `z`.  Mini-ball coverings (Definition 2) produce weighted point
+//! sets, so weights thread through the whole suite.
+
+use crate::space::SpaceUsage;
+
+/// A point with a positive integer weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weighted<P> {
+    /// Location of the point.
+    pub point: P,
+    /// Positive integer weight (`w : P → Z+`).
+    pub weight: u64,
+}
+
+impl<P> Weighted<P> {
+    /// Creates a weighted point; panics on zero weight (the paper requires
+    /// strictly positive integer weights).
+    pub fn new(point: P, weight: u64) -> Self {
+        assert!(weight > 0, "weights must be positive integers");
+        Weighted { point, weight }
+    }
+
+    /// A unit-weight point.
+    pub fn unit(point: P) -> Self {
+        Weighted { point, weight: 1 }
+    }
+
+    /// Maps the location while preserving the weight.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Weighted<Q> {
+        Weighted {
+            point: f(self.point),
+            weight: self.weight,
+        }
+    }
+}
+
+/// Wraps every point of `points` with weight 1.
+pub fn unit_weighted<P: Clone>(points: &[P]) -> Vec<Weighted<P>> {
+    points.iter().cloned().map(Weighted::unit).collect()
+}
+
+/// Total weight of a weighted set (`Σ_p w(p)`); saturates on overflow.
+pub fn total_weight<P>(points: &[Weighted<P>]) -> u64 {
+    points.iter().fold(0u64, |a, p| a.saturating_add(p.weight))
+}
+
+impl<P: SpaceUsage> SpaceUsage for Weighted<P> {
+    fn words(&self) -> usize {
+        self.point.words() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_total() {
+        let pts = vec![[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]];
+        let w = unit_weighted(&pts);
+        assert_eq!(w.len(), 3);
+        assert_eq!(total_weight(&w), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = Weighted::new([0.0; 2], 0);
+    }
+
+    #[test]
+    fn map_preserves_weight() {
+        let p = Weighted::new([1.0, 2.0], 7);
+        let q = p.map(|c| c[0]);
+        assert_eq!(q.weight, 7);
+        assert_eq!(q.point, 1.0);
+    }
+
+    #[test]
+    fn total_weight_saturates() {
+        let w = vec![Weighted::new(0.0f64, u64::MAX), Weighted::new(1.0, 5)];
+        assert_eq!(total_weight(&w), u64::MAX);
+    }
+}

@@ -1,0 +1,144 @@
+//! Round executor and storage/communication accounting.
+//!
+//! Machine-local computations within a round are independent, so the
+//! executor fans them out over OS threads (crossbeam channels feed a small
+//! worker pool).  Storage is accounted in machine words via
+//! [`kcz_metric::SpaceUsage`]: a machine's footprint in a round is
+//! everything it holds when the round ends — its local input plus every
+//! message it received.
+
+use kcz_metric::{SpaceUsage, Weighted};
+
+/// Resource metrics of one simulated MPC execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MpcRunStats {
+    /// Communication rounds used (the paper's convention: communication
+    /// rounds, not computation rounds — see the Table 1 footnote).
+    pub rounds: usize,
+    /// Number of machines (workers + coordinator).
+    pub machines: usize,
+    /// Peak storage of any worker machine, in words.
+    pub worker_peak_words: usize,
+    /// Peak storage of the coordinator, in words.
+    pub coordinator_peak_words: usize,
+    /// Total words sent over the (simulated) network.
+    pub comm_words: u64,
+    /// Size (representatives) of the final coreset.
+    pub coreset_size: usize,
+}
+
+/// Output of an MPC coreset algorithm.
+#[derive(Debug, Clone)]
+pub struct MpcCoreset<P> {
+    /// The coreset held by the coordinator at the end.
+    pub coreset: Vec<Weighted<P>>,
+    /// The error parameter the output actually guarantees (e.g. `3ε`
+    /// for the 2-round algorithm, `(1+ε)^R − 1` for R rounds).
+    pub effective_eps: f64,
+    /// Resource accounting.
+    pub stats: MpcRunStats,
+}
+
+/// Applies `f` to every item in parallel, preserving order.
+///
+/// This is the simulator's "round": each item is one machine's local
+/// computation.  Threads default to the available parallelism.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+        .min(n);
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    for pair in items.into_iter().enumerate() {
+        task_tx.send(pair).expect("queueing tasks");
+    }
+    drop(task_tx);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let task_rx = task_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((i, t)) = task_rx.recv() {
+                    out_tx.send((i, f(i, t))).expect("returning results");
+                }
+            });
+        }
+    });
+    drop(out_tx);
+    let mut out: Vec<(usize, R)> = out_rx.into_iter().collect();
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Words of a point slice (a machine's raw local input).
+pub fn words_of_points<P: SpaceUsage>(pts: &[P]) -> usize {
+    pts.iter().map(SpaceUsage::words).sum()
+}
+
+/// Words of a weighted slice (a mini-ball covering in transit).
+pub fn words_of_weighted<P: SpaceUsage>(pts: &[Weighted<P>]) -> usize {
+    pts.iter().map(SpaceUsage::words).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(items, |i, x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_actually_runs_concurrently_safe() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(items, |_, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn word_counters() {
+        let pts = vec![[0.0f64; 3]; 4];
+        assert_eq!(words_of_points(&pts), 12);
+        let w = vec![Weighted::new([0.0f64; 3], 2); 4];
+        assert_eq!(words_of_weighted(&w), 16);
+    }
+}

@@ -1,0 +1,171 @@
+//! Algorithm 6: the randomized 1-round MPC coreset (Theorem 33).
+//!
+//! When the input is distributed *randomly* over the `m` machines, no
+//! machine holds more than `z' = 6z/m + 3 log n` outliers with high
+//! probability (Lemma 32, a Chernoff bound).  Each machine can therefore
+//! run `MBCConstruction(P_i, k, z', ε)` locally and ship the result in a
+//! single round; the union is an (ε,k,z)-mini-ball covering w.h.p.
+//! (Lemma 4), which the coordinator recompresses.
+//!
+//! The algorithm itself makes no random choices — the randomness is the
+//! distribution assumption, which `kcz-workloads::random_partition`
+//! realises.  On an adversarial distribution the w.h.p. guarantee is void;
+//! the `F2` experiments demonstrate exactly that failure mode.
+
+use kcz_coreset::compose::{composed_eps, union_coverings};
+use kcz_coreset::mbc::mbc_construction_with;
+use kcz_kcenter::charikar::GreedyParams;
+use kcz_metric::{unit_weighted, MetricSpace, SpaceUsage};
+
+use crate::exec::{parallel_map, words_of_points, words_of_weighted, MpcCoreset, MpcRunStats};
+
+/// Output of [`one_round_randomized`].
+#[derive(Debug, Clone)]
+pub struct OneRoundResult<P> {
+    /// The coreset and resource accounting.
+    pub output: MpcCoreset<P>,
+    /// The per-machine outlier budget `z' = min(6z/m + 3 log n, z)`.
+    pub z_prime: u64,
+}
+
+/// The paper's per-machine budget `z' = min(6z/m + 3·log₂ n, z)`.
+pub fn z_prime(n: u64, m: usize, z: u64) -> u64 {
+    if n == 0 || m == 0 {
+        return z;
+    }
+    let bound = (6.0 * z as f64 / m as f64 + 3.0 * (n.max(2) as f64).log2()).ceil() as u64;
+    bound.min(z)
+}
+
+/// Runs Algorithm 6 on `partition[i] = P_i`, assumed randomly distributed.
+/// Machine 0 doubles as the coordinator.
+pub fn one_round_randomized<P, M>(
+    metric: &M,
+    partition: &[Vec<P>],
+    k: usize,
+    z: u64,
+    eps: f64,
+    params: &GreedyParams,
+) -> OneRoundResult<P>
+where
+    P: Clone + SpaceUsage + Send + Sync,
+    M: MetricSpace<P>,
+{
+    assert!(!partition.is_empty(), "need at least one machine");
+    assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+    let m = partition.len();
+    let n: u64 = partition.iter().map(|p| p.len() as u64).sum();
+    let zp = z_prime(n, m, z);
+
+    let coverings = parallel_map(partition.iter().collect(), |_, pts: &Vec<P>| {
+        let weighted = unit_weighted(pts);
+        mbc_construction_with(metric, &weighted, k, zp, eps, params).reps
+    });
+
+    let mut worker_peak = 0usize;
+    let mut comm_words = 0u64;
+    for (i, pts) in partition.iter().enumerate() {
+        let held = words_of_points(pts) + words_of_weighted(&coverings[i]);
+        if i != 0 {
+            worker_peak = worker_peak.max(held);
+            comm_words += words_of_weighted(&coverings[i]) as u64;
+        }
+    }
+
+    let received: usize = coverings.iter().map(|c| words_of_weighted(c)).sum();
+    let union = union_coverings(coverings);
+    let final_mbc = mbc_construction_with(metric, &union, k, z, eps, params);
+    let coordinator_peak =
+        words_of_points(&partition[0]) + received + words_of_weighted(&final_mbc.reps);
+
+    let stats = MpcRunStats {
+        rounds: 1,
+        machines: m,
+        worker_peak_words: worker_peak,
+        coordinator_peak_words: coordinator_peak,
+        comm_words,
+        coreset_size: final_mbc.reps.len(),
+    };
+    OneRoundResult {
+        output: MpcCoreset {
+            coreset: final_mbc.reps,
+            effective_eps: composed_eps(eps, eps),
+            stats,
+        },
+        z_prime: zp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_coreset::validate::validate_coreset;
+    use kcz_metric::{total_weight, Weighted, L2};
+
+    /// Clusters + outliers dealt round-robin (a stand-in for a random
+    /// distribution with an even outlier spread).
+    fn spread_instance(z: u64, m: usize) -> (Vec<[f64; 2]>, Vec<Vec<[f64; 2]>>) {
+        let mut all = vec![];
+        for i in 0..z {
+            all.push([-9e4 - (i as f64) * 1e4, 8e4]);
+        }
+        for i in 0..40u64 {
+            let c = (i % 2) as f64 * 60.0;
+            all.push([c + (i as f64 * 0.03).sin(), c - (i as f64 * 0.05).cos()]);
+        }
+        let mut machines = vec![vec![]; m];
+        for (i, p) in all.iter().enumerate() {
+            machines[i % m].push(*p);
+        }
+        (all, machines)
+    }
+
+    #[test]
+    fn z_prime_formula() {
+        // Large m: budget collapses toward 3 log n.
+        assert!(z_prime(1024, 64, 1000) <= 6 * 1000 / 64 + 31);
+        // Tiny z: never exceeds z itself.
+        assert_eq!(z_prime(1024, 4, 2), 2);
+        assert_eq!(z_prime(0, 4, 5), 5);
+    }
+
+    #[test]
+    fn output_is_valid_coreset_on_spread_data() {
+        let (all, machines) = spread_instance(4, 4);
+        let eps = 0.4;
+        let res = one_round_randomized(&L2, &machines, 2, 4, eps, &GreedyParams::default());
+        let weighted: Vec<Weighted<[f64; 2]>> =
+            all.iter().map(|p| Weighted::unit(*p)).collect();
+        assert_eq!(total_weight(&res.output.coreset), all.len() as u64);
+        let report = validate_coreset(
+            &L2,
+            &weighted,
+            &res.output.coreset,
+            2,
+            4,
+            res.output.effective_eps,
+        );
+        assert!(report.condition1 && report.condition2, "{report:?}");
+    }
+
+    #[test]
+    fn single_round_stats() {
+        let (_, machines) = spread_instance(4, 4);
+        let res = one_round_randomized(&L2, &machines, 2, 4, 0.5, &GreedyParams::default());
+        assert_eq!(res.output.stats.rounds, 1);
+        assert_eq!(res.output.stats.machines, 4);
+        assert!(res.output.stats.comm_words > 0);
+        // No broadcast phase: communication is strictly coverings → coordinator.
+        assert!(res.z_prime <= 4);
+    }
+
+    #[test]
+    fn worker_budget_caps_coordinator_traffic() {
+        // With z' < z, workers ship at most k(12/ε)^d + z' points each.
+        let (_, machines) = spread_instance(40, 8);
+        let res = one_round_randomized(&L2, &machines, 2, 40, 1.0, &GreedyParams::default());
+        let bound = kcz_coreset::mbc_size_bound(2, res.z_prime, 1.0, 2);
+        // comm per worker ≤ bound × 3 words.
+        assert!(res.output.stats.comm_words <= 7 * 3 * bound);
+    }
+}

@@ -1,0 +1,177 @@
+//! Algorithm 7: the deterministic R-round trade-off (Theorem 35).
+//!
+//! With fan-in `β = ⌈m^{1/R}⌉` the machines form a β-ary reduction tree:
+//! in every round each active machine recompresses what it received into a
+//! mini-ball covering and ships it one level up.  After `R` rounds machine
+//! `M_1` holds the union, a `((1+ε)^R − 1, k, z)`-coreset (Lemma 34), with
+//! per-machine storage `O(n^{1/(R+1)} (k/ε^d + z)^{R/(R+1)})` when `m` is
+//! tuned accordingly.  The `R = 1` instantiation is the Table-1 trade-off
+//! row's left end; large `R` trades rounds for less memory.
+
+use kcz_coreset::compose::union_coverings;
+use kcz_coreset::mbc::mbc_construction_with;
+use kcz_kcenter::charikar::GreedyParams;
+use kcz_metric::{unit_weighted, MetricSpace, SpaceUsage, Weighted};
+
+use crate::exec::{parallel_map, words_of_weighted, MpcCoreset, MpcRunStats};
+
+/// Fan-in `β = ⌈m^{1/R}⌉`.
+pub fn fan_in(m: usize, rounds: usize) -> usize {
+    assert!(rounds >= 1, "need at least one round");
+    if m <= 1 {
+        return 1;
+    }
+    let beta = (m as f64).powf(1.0 / rounds as f64).ceil() as usize;
+    beta.max(2)
+}
+
+/// Runs Algorithm 7 with `rounds = R`.  Machine 0 (i.e. `M_1`) ends up as
+/// the coordinator holding the final `((1+ε)^R − 1, k, z)`-coreset.
+pub fn r_round<P, M>(
+    metric: &M,
+    partition: &[Vec<P>],
+    k: usize,
+    z: u64,
+    eps: f64,
+    rounds: usize,
+    params: &GreedyParams,
+) -> MpcCoreset<P>
+where
+    P: Clone + SpaceUsage + Send + Sync,
+    M: MetricSpace<P>,
+{
+    assert!(!partition.is_empty(), "need at least one machine");
+    assert!(rounds >= 1, "need at least one round");
+    assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+    let m = partition.len();
+    let beta = fan_in(m, rounds);
+
+    let mut sets: Vec<Vec<Weighted<P>>> =
+        partition.iter().map(|pts| unit_weighted(pts)).collect();
+
+    let mut worker_peak = 0usize;
+    let mut comm_words = 0u64;
+    let mut final_received = 0usize;
+
+    for t in 1..=rounds {
+        // Each active machine compresses what it holds...
+        let held: Vec<usize> = sets.iter().map(|s| words_of_weighted(s)).collect();
+        let compressed = parallel_map(std::mem::take(&mut sets), |_, s| {
+            mbc_construction_with(metric, &s, k, z, eps, params).reps
+        });
+        for (i, c) in compressed.iter().enumerate() {
+            let footprint = held[i] + words_of_weighted(c);
+            if !(t == rounds && i == 0) {
+                worker_peak = worker_peak.max(footprint);
+            }
+            // ...and sends it to machine ⌈i/β⌉ (self-sends are free).
+            if (i / beta != i || t < rounds) && i != 0 {
+                comm_words += words_of_weighted(c) as u64;
+            }
+        }
+        // Regroup: machine i of the next level receives β consecutive sets.
+        let mut next: Vec<Vec<Weighted<P>>> = Vec::with_capacity(compressed.len().div_ceil(beta));
+        for chunk in compressed.chunks(beta) {
+            next.push(union_coverings(chunk.iter().cloned()));
+        }
+        sets = next;
+        if t == rounds {
+            final_received = sets.first().map(|s| words_of_weighted(s)).unwrap_or(0);
+        }
+    }
+    assert_eq!(
+        sets.len(),
+        1,
+        "β = ⌈m^(1/R)⌉ guarantees collapse to one machine after R rounds"
+    );
+    let coreset = sets.pop().expect("one surviving set");
+
+    let stats = MpcRunStats {
+        rounds,
+        machines: m,
+        worker_peak_words: worker_peak,
+        coordinator_peak_words: final_received,
+        comm_words,
+        coreset_size: coreset.len(),
+    };
+    MpcCoreset {
+        coreset,
+        effective_eps: (1.0 + eps).powi(rounds as i32) - 1.0,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_coreset::validate::validate_coreset;
+    use kcz_metric::{total_weight, L2};
+
+    fn instance(m: usize) -> (Vec<[f64; 2]>, Vec<Vec<[f64; 2]>>) {
+        let mut all = vec![];
+        for i in 0..48u64 {
+            let c = (i % 2) as f64 * 80.0;
+            all.push([c + (i as f64 * 0.029).sin(), c + (i as f64 * 0.041).cos()]);
+        }
+        all.push([4000.0, 4000.0]);
+        all.push([-4000.0, 4000.0]);
+        let mut machines = vec![vec![]; m];
+        for (i, p) in all.iter().enumerate() {
+            machines[i % m].push(*p);
+        }
+        (all, machines)
+    }
+
+    #[test]
+    fn fan_in_collapses_in_r_rounds() {
+        for (m, r) in [(16usize, 2usize), (16, 4), (27, 3), (5, 1), (1, 3)] {
+            let beta = fan_in(m, r);
+            assert!(beta.pow(r as u32) >= m, "β={beta} too small for m={m}, R={r}");
+        }
+    }
+
+    #[test]
+    fn r1_equals_direct_union() {
+        let (all, machines) = instance(4);
+        let res = r_round(&L2, &machines, 2, 2, 0.4, 1, &GreedyParams::default());
+        assert_eq!(res.stats.rounds, 1);
+        assert_eq!(total_weight(&res.coreset), all.len() as u64);
+        assert!((res.effective_eps - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_round_output_is_valid_coreset() {
+        let (all, machines) = instance(9);
+        let eps = 0.2;
+        let rounds = 2;
+        let res = r_round(&L2, &machines, 2, 2, eps, rounds, &GreedyParams::default());
+        let weighted: Vec<_> = all.iter().map(|p| kcz_metric::Weighted::unit(*p)).collect();
+        assert_eq!(total_weight(&res.coreset), all.len() as u64);
+        let report = validate_coreset(&L2, &weighted, &res.coreset, 2, 2, res.effective_eps);
+        assert!(report.condition1 && report.condition2, "{report:?}");
+        assert!((res.effective_eps - (1.2f64.powi(2) - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_rounds_less_worker_memory() {
+        // With 16 machines, R=4 (β=2) must hold fewer words per worker
+        // than R=1 (β=16, coordinator receives everything at once).
+        let (_, machines) = instance(16);
+        let r1 = r_round(&L2, &machines, 2, 2, 0.5, 1, &GreedyParams::default());
+        let r4 = r_round(&L2, &machines, 2, 2, 0.5, 4, &GreedyParams::default());
+        assert!(
+            r4.stats.coordinator_peak_words <= r1.stats.coordinator_peak_words,
+            "R=4 coordinator {} vs R=1 {}",
+            r4.stats.coordinator_peak_words,
+            r1.stats.coordinator_peak_words
+        );
+        assert_eq!(total_weight(&r1.coreset), total_weight(&r4.coreset));
+    }
+
+    #[test]
+    fn single_machine_single_round() {
+        let machines = vec![vec![[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]];
+        let res = r_round(&L2, &machines, 1, 0, 1.0, 1, &GreedyParams::default());
+        assert_eq!(total_weight(&res.coreset), 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Arithmetic in the prime field `F_p`, `p = 2⁶¹ − 1` (Mersenne), plus a
+//! small dense linear solver — the substrate for the deterministic
+//! Vandermonde recovery of [`crate::detsparse`].
+
+/// The field modulus `2⁶¹ − 1` (a Mersenne prime).
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// Reduces a `u128` modulo `P` using the Mersenne structure.
+#[inline]
+pub fn reduce(x: u128) -> u64 {
+    // x = hi·2^61 + lo ≡ hi + lo (mod 2^61 − 1), applied twice.
+    let lo = (x as u64) & P;
+    let hi = (x >> 61) as u64;
+    let mut s = lo + (hi & P) + (hi >> 61);
+    if s >= P {
+        s -= P;
+    }
+    if s >= P {
+        s -= P;
+    }
+    s
+}
+
+/// `a + b mod P`.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    let s = a + b;
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+/// `a − b mod P`.
+#[inline]
+pub fn sub(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + P - b
+    }
+}
+
+/// `a · b mod P`.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    reduce(a as u128 * b as u128)
+}
+
+/// `a^e mod P` by square-and-multiply.
+pub fn pow(mut a: u64, mut e: u64) -> u64 {
+    let mut r = 1u64;
+    a %= P;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = mul(r, a);
+        }
+        a = mul(a, a);
+        e >>= 1;
+    }
+    r
+}
+
+/// Multiplicative inverse (`a ≠ 0`), via Fermat's little theorem.
+pub fn inv(a: u64) -> u64 {
+    assert!(!a.is_multiple_of(P), "zero has no inverse");
+    pow(a, P - 2)
+}
+
+/// Interprets a field element as a signed integer in `(−P/2, P/2]` —
+/// strict-turnstile counts are small in magnitude, so this recovers the
+/// true integer count from its residue.
+pub fn to_signed(a: u64) -> i64 {
+    if a > P / 2 {
+        -((P - a) as i64)
+    } else {
+        a as i64
+    }
+}
+
+/// Solves the square system `A·x = b` over `F_p` by Gaussian elimination.
+/// `a` is row-major `n×n`.  Returns `None` if `A` is singular.
+pub fn solve_dense(mut a: Vec<Vec<u64>>, mut b: Vec<u64>) -> Option<Vec<u64>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|r| r.len() == n));
+    for col in 0..n {
+        let pivot = (col..n).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let pinv = inv(a[col][col]);
+        for cell in a[col][col..].iter_mut() {
+            *cell = mul(*cell, pinv);
+        }
+        b[col] = mul(b[col], pinv);
+        for r in 0..n {
+            if r != col && a[r][col] != 0 {
+                let f = a[r][col];
+                let pivot_row = a[col][col..].to_vec();
+                for (cell, &pv) in a[r][col..].iter_mut().zip(&pivot_row) {
+                    let t = mul(f, pv);
+                    *cell = sub(*cell, t);
+                }
+                let t = mul(f, b[col]);
+                b[r] = sub(b[r], t);
+            }
+        }
+    }
+    Some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(add(P - 1, 2), 1);
+        assert_eq!(sub(1, 2), P - 1);
+        assert_eq!(mul(P - 1, P - 1), 1); // (−1)² = 1
+        assert_eq!(pow(3, 0), 1);
+        assert_eq!(pow(2, 61), reduce(1u128 << 61));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for a in [1u64, 2, 12345, P - 7] {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn signed_mapping() {
+        assert_eq!(to_signed(5), 5);
+        assert_eq!(to_signed(P - 5), -5);
+        assert_eq!(to_signed(0), 0);
+    }
+
+    #[test]
+    fn reduce_large() {
+        let x = (P as u128) * 12345 + 678;
+        assert_eq!(reduce(x), 678);
+    }
+
+    #[test]
+    fn dense_solver() {
+        // x + 2y = 5, 3x + 4y = 11  →  x = 1, y = 2.
+        let a = vec![vec![1, 2], vec![3, 4]];
+        let b = vec![5, 11];
+        assert_eq!(solve_dense(a, b), Some(vec![1, 2]));
+        // Singular.
+        let a = vec![vec![1, 2], vec![2, 4]];
+        assert_eq!(solve_dense(a, vec![1, 2]), None);
+    }
+}

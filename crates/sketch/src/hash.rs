@@ -1,0 +1,114 @@
+//! Seeded 64-bit hash functions for the sketches.
+//!
+//! The sketches need pairwise-independent-ish hashing with independent
+//! seeds per row/level.  Two rounds of the SplitMix64 finalizer over the
+//! seeded input give excellent avalanche behaviour and are cheap enough to
+//! sit on the per-update hot path.
+
+/// A seeded 64-bit hash function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFn {
+    seed: u64,
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl HashFn {
+    /// A hash function keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        HashFn {
+            seed: splitmix64(seed),
+        }
+    }
+
+    /// Hashes `x` to a 64-bit value.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        splitmix64(splitmix64(x ^ self.seed).wrapping_add(self.seed))
+    }
+
+    /// Hashes `x` into `0..m` (`m > 0`).
+    #[inline]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        // Multiply-shift range reduction avoids modulo bias for small m.
+        ((self.hash(x) as u128 * m as u128) >> 64) as usize
+    }
+}
+
+/// Derives a deterministic stream of sub-seeds from a master seed
+/// (seed scheduling for rows/levels of a sketch).
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    state: u64,
+}
+
+impl SeedSequence {
+    /// Starts a sequence at `master`.
+    pub fn new(master: u64) -> Self {
+        SeedSequence {
+            state: splitmix64(master ^ 0xA076_1D64_78BD_642F),
+        }
+    }
+
+    /// Next sub-seed.
+    pub fn next_seed(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h1 = HashFn::new(42);
+        let h2 = HashFn::new(42);
+        let h3 = HashFn::new(43);
+        assert_eq!(h1.hash(7), h2.hash(7));
+        assert_ne!(h1.hash(7), h3.hash(7));
+    }
+
+    #[test]
+    fn buckets_cover_range_roughly_uniformly() {
+        let h = HashFn::new(1);
+        let m = 16;
+        let mut counts = vec![0usize; m];
+        for x in 0..16_000u64 {
+            counts[h.bucket(x, m)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn seed_sequence_distinct() {
+        let mut s = SeedSequence::new(9);
+        let a = s.next_seed();
+        let b = s.next_seed();
+        assert_ne!(a, b);
+        let mut s2 = SeedSequence::new(9);
+        assert_eq!(a, s2.next_seed());
+    }
+
+    #[test]
+    fn avalanche_on_adjacent_inputs() {
+        let h = HashFn::new(5);
+        let mut differing_bits = 0u32;
+        for x in 0..64u64 {
+            differing_bits += (h.hash(x) ^ h.hash(x + 1)).count_ones();
+        }
+        // Expect ~32 differing bits per pair on average.
+        let avg = differing_bits as f64 / 64.0;
+        assert!((20.0..44.0).contains(&avg), "poor avalanche: {avg}");
+    }
+}

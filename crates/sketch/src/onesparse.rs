@@ -1,0 +1,159 @@
+//! 1-sparse recovery cells: the building block of both sketches.
+//!
+//! A cell accumulates `(Σδ, Σδ·id, Σδ·h(id))` over updates `(id, δ)`.
+//! If the net content is a single id, the triple decodes it exactly; the
+//! fingerprint term catches (w.h.p.) the case where several ids happen to
+//! produce a consistent count/id-sum pair.  All three accumulators are
+//! linear, so deletions cancel insertions exactly.
+
+use crate::hash::HashFn;
+
+/// Decode outcome of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decode {
+    /// Net content is empty.
+    Zero,
+    /// Net content is exactly `count` copies of `id` (w.h.p.).
+    One {
+        /// The recovered element id.
+        id: u64,
+        /// Its net frequency (positive in the strict turnstile model).
+        count: i64,
+    },
+    /// More than one distinct id (or a fingerprint mismatch).
+    Multi,
+}
+
+/// A 1-sparse recovery cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OneSparseCell {
+    ell: i64,
+    id_sum: i128,
+    fp: u64,
+}
+
+impl OneSparseCell {
+    /// Fresh empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies update `(id, delta)` using fingerprint hash `h`.
+    #[inline]
+    pub fn update(&mut self, id: u64, delta: i64, h: &HashFn) {
+        self.ell = self.ell.wrapping_add(delta);
+        self.id_sum += id as i128 * delta as i128;
+        // Mod-2^64 arithmetic: negative deltas wrap, sums still cancel.
+        self.fp = self.fp.wrapping_add(h.hash(id).wrapping_mul(delta as u64));
+    }
+
+    /// True iff the cell's net content is empty.
+    ///
+    /// False negatives are impossible; false positives require three
+    /// simultaneous wrap-around collisions (probability ≈ 2⁻⁶⁴).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.ell == 0 && self.id_sum == 0 && self.fp == 0
+    }
+
+    /// Attempts to decode the cell.
+    ///
+    /// Handles positive *and* negative net counts — the strict turnstile
+    /// model promises non-negative frequencies, but decoding negatives
+    /// lets the dynamic coreset *detect* violations of that promise
+    /// instead of failing opaquely.
+    pub fn decode(&self, h: &HashFn) -> Decode {
+        if self.is_zero() {
+            return Decode::Zero;
+        }
+        if self.ell != 0 && self.id_sum % self.ell as i128 == 0 {
+            let id = self.id_sum / self.ell as i128;
+            if (0..=u64::MAX as i128).contains(&id) {
+                let id = id as u64;
+                if self.fp == h.hash(id).wrapping_mul(self.ell as u64) {
+                    return Decode::One {
+                        id,
+                        count: self.ell,
+                    };
+                }
+            }
+        }
+        Decode::Multi
+    }
+
+    /// Storage in machine words (count + 2-word id sum + fingerprint).
+    pub const WORDS: usize = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> HashFn {
+        HashFn::new(12345)
+    }
+
+    #[test]
+    fn single_item_decodes() {
+        let mut c = OneSparseCell::new();
+        c.update(77, 3, &h());
+        assert_eq!(c.decode(&h()), Decode::One { id: 77, count: 3 });
+    }
+
+    #[test]
+    fn id_zero_decodes() {
+        let mut c = OneSparseCell::new();
+        c.update(0, 2, &h());
+        assert_eq!(c.decode(&h()), Decode::One { id: 0, count: 2 });
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut c = OneSparseCell::new();
+        c.update(5, 2, &h());
+        c.update(9, 1, &h());
+        c.update(5, -2, &h());
+        c.update(9, -1, &h());
+        assert!(c.is_zero());
+        assert_eq!(c.decode(&h()), Decode::Zero);
+    }
+
+    #[test]
+    fn two_items_report_multi() {
+        let mut c = OneSparseCell::new();
+        c.update(5, 1, &h());
+        c.update(9, 1, &h());
+        assert_eq!(c.decode(&h()), Decode::Multi);
+    }
+
+    #[test]
+    fn fingerprint_catches_idsum_collision() {
+        // ids 4 and 6 with counts 1 each: id_sum = 10, ell = 2 → id 5
+        // is arithmetically consistent but the fingerprint rejects it.
+        let mut c = OneSparseCell::new();
+        c.update(4, 1, &h());
+        c.update(6, 1, &h());
+        assert_eq!(c.decode(&h()), Decode::Multi);
+    }
+
+    #[test]
+    fn partial_deletion_leaves_survivor() {
+        let mut c = OneSparseCell::new();
+        c.update(5, 2, &h());
+        c.update(9, 1, &h());
+        c.update(5, -2, &h());
+        assert_eq!(c.decode(&h()), Decode::One { id: 9, count: 1 });
+    }
+
+    #[test]
+    fn negative_net_count_decodes() {
+        // Over-deletion (broken strict-turnstile promise) is decodable so
+        // upper layers can report it.
+        let mut c = OneSparseCell::new();
+        c.update(42, -3, &h());
+        assert_eq!(c.decode(&h()), Decode::One { id: 42, count: -3 });
+        let mut c = OneSparseCell::new();
+        c.update(0, -1, &h());
+        assert_eq!(c.decode(&h()), Decode::One { id: 0, count: -1 });
+    }
+}

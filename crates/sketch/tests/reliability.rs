@@ -1,0 +1,126 @@
+//! Reliability and failure-injection tests for the sketches: measured
+//! failure rates against the configured δ, adversarial cancellation
+//! patterns, and cross-validation of the two sparse-recovery schemes.
+
+use kcz_sketch::ssparse::Recovery;
+use kcz_sketch::{DeterministicSparseRecovery, F0Sketch, SparseRecovery};
+
+/// The randomized recovery must succeed for ≤ s items in nearly every
+/// seed; measure the failure rate over many independent sketches.
+#[test]
+fn randomized_recovery_failure_rate_below_delta() {
+    let trials = 200;
+    let delta = 0.05;
+    let mut failures = 0;
+    for seed in 0..trials {
+        let mut sk = SparseRecovery::new(16, delta, seed);
+        for i in 0..16u64 {
+            sk.update(i * 101 + seed, (i % 5 + 1) as i64);
+        }
+        if matches!(sk.recover(), Recovery::Saturated(_)) {
+            failures += 1;
+        }
+    }
+    // Allow generous slack over δ·trials = 10 to keep the test stable.
+    assert!(failures <= 20, "failure rate too high: {failures}/{trials}");
+}
+
+/// Deterministic recovery has *zero* failures by construction.
+#[test]
+fn deterministic_recovery_never_fails_within_budget() {
+    for round in 0..50u64 {
+        let mut sk = DeterministicSparseRecovery::new(12, 1 << 16);
+        for i in 0..12u64 {
+            sk.update((i * 523 + round * 7919) % (1 << 16), (round % 9 + 1) as i64);
+        }
+        match sk.recover() {
+            Recovery::Exact(v) => assert!(v.len() <= 12),
+            Recovery::Saturated(_) => panic!("deterministic recovery failed at round {round}"),
+        }
+    }
+}
+
+/// The two schemes must agree on the recovered multiset.
+#[test]
+fn randomized_and_deterministic_agree() {
+    let items: Vec<(u64, i64)> = (0..10).map(|i| (i * 37 + 5, (i + 1) as i64)).collect();
+    let mut rnd = SparseRecovery::new(16, 0.001, 99);
+    let mut det = DeterministicSparseRecovery::new(16, 1 << 12);
+    for &(id, c) in &items {
+        rnd.update(id, c);
+        det.update(id, c);
+    }
+    let Recovery::Exact(a) = rnd.recover() else {
+        panic!("randomized saturated");
+    };
+    let Recovery::Exact(b) = det.recover() else {
+        panic!("deterministic saturated");
+    };
+    assert_eq!(a, b);
+    assert_eq!(a, items);
+}
+
+/// Adversarial cancellation: interleaved insert/delete waves that leave a
+/// tiny survivor set must decode exactly (the linearity property).
+#[test]
+fn wave_cancellation_leaves_exact_survivors() {
+    let mut rnd = SparseRecovery::new(8, 0.001, 7);
+    let mut det = DeterministicSparseRecovery::new(8, 1 << 14);
+    for wave in 0..20u64 {
+        for i in 0..100u64 {
+            let id = (wave * 131 + i * 17) % (1 << 14);
+            rnd.update(id, 3);
+            det.update(id, 3);
+            if i != 50 {
+                rnd.update(id, -3);
+                det.update(id, -3);
+            } else {
+                // survivor of this wave; remove it in the next wave
+                if wave > 0 {
+                    let prev = ((wave - 1) * 131 + 50 * 17) % (1 << 14);
+                    rnd.update(prev, -3);
+                    det.update(prev, -3);
+                }
+            }
+        }
+    }
+    // Only the last wave's survivor remains (19·131 + 50·17 < 2^14,
+    // so the loop's modulus is immaterial here).
+    let survivor = 19u64 * 131 + 50 * 17;
+    for (name, rec) in [("rnd", rnd.recover()), ("det", det.recover())] {
+        match rec {
+            Recovery::Exact(v) => assert_eq!(v, vec![(survivor, 3)], "{name}"),
+            Recovery::Saturated(_) => panic!("{name} saturated"),
+        }
+    }
+}
+
+/// F₀ accuracy across magnitudes, including after heavy deletion.
+#[test]
+fn f0_tracks_distinct_count_across_magnitudes() {
+    for &n in &[100u64, 1000, 20_000] {
+        let mut sk = F0Sketch::for_universe(1 << 32, 0.1, n);
+        for i in 0..n {
+            sk.update(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), 1);
+        }
+        let est = sk.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.35, "n={n}: est {est}, rel err {rel}");
+    }
+}
+
+/// F₀ with duplicate multiplicities: estimate counts ids, not updates.
+#[test]
+fn f0_ignores_multiplicity() {
+    let mut sk = F0Sketch::for_universe(1 << 20, 0.1, 3);
+    for rep in 1..=20 {
+        for id in 0..200u64 {
+            sk.update(id, 1);
+        }
+        let est = sk.estimate();
+        assert!(
+            (120.0..300.0).contains(&est),
+            "rep {rep}: est {est} drifted"
+        );
+    }
+}

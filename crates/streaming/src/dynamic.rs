@@ -1,0 +1,363 @@
+//! Algorithm 5: the fully dynamic streaming coreset over `[Δ]^d`.
+//!
+//! The stream consists of insertions and deletions of points with integer
+//! coordinates in `[0, Δ)^D`, `Δ = 2^b`.  For every level `i = 0..=b` the
+//! structure imposes a grid of cell side `2^i` and maintains two linear
+//! sketches over the grid's non-empty cells: an s-sparse recovery sketch
+//! and an F₀ estimator (crate `kcz-sketch`).  A query walks from the finest
+//! grid upward, picks the first level whose estimated number of non-empty
+//! cells is at most `s = k(4√d/ε)^d + z` (Lemma 25), recovers the cells
+//! with their exact counts, and reports each cell's center weighted by its
+//! count — a *relaxed* (ε,k,z)-coreset (Theorem 21: the representatives
+//! are cell centers rather than input points).
+
+use kcz_metric::Weighted;
+use kcz_sketch::ssparse::Recovery;
+use kcz_sketch::{F0Sketch, SparseRecovery};
+
+/// Failure modes of a [`DynamicCoreset`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicCoresetError {
+    /// Every level's recovery saturated — the sketch draw failed
+    /// (probability ≤ δ per query) or the F₀ estimates were off.
+    Unrecoverable,
+    /// A recovered cell had a negative net count: the stream violated the
+    /// strict turnstile promise (deleted a point that was not present).
+    NegativeFrequency {
+        /// Level at which the violation surfaced.
+        level: u32,
+    },
+}
+
+impl std::fmt::Display for DynamicCoresetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicCoresetError::Unrecoverable => {
+                write!(f, "all grid levels saturated; sketch recovery failed")
+            }
+            DynamicCoresetError::NegativeFrequency { level } => {
+                write!(f, "negative cell frequency at level {level}: stream is not strict turnstile")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicCoresetError {}
+
+/// A recovered relaxed coreset: the weighted cell-center representatives
+/// and the grid level they were read from.
+pub type RelaxedCoreset<const D: usize> = (Vec<Weighted<[f64; D]>>, u32);
+
+/// Per-grid sketch pair.
+#[derive(Debug, Clone)]
+struct GridLevel {
+    recovery: SparseRecovery,
+    f0: F0Sketch,
+}
+
+/// The fully dynamic coreset structure of Section 5.
+#[derive(Debug, Clone)]
+pub struct DynamicCoreset<const D: usize> {
+    side_bits: u32,
+    s: usize,
+    levels: Vec<GridLevel>,
+    net_updates: i64,
+}
+
+/// The paper's sparsity target `s = k(4√d/ε)^d + z` (Lemma 25).
+pub fn paper_sparsity(k: usize, z: u64, eps: f64, d: usize) -> u64 {
+    let per_ball = (4.0 * (d as f64).sqrt() / eps).powi(d as i32);
+    if !per_ball.is_finite() || per_ball >= u64::MAX as f64 {
+        return u64::MAX;
+    }
+    (k as u64)
+        .saturating_mul(per_ball.ceil() as u64)
+        .saturating_add(z)
+}
+
+impl<const D: usize> DynamicCoreset<D> {
+    /// Creates the structure for universe `[0, 2^side_bits)^D` with
+    /// sparsity target `s`, per-query failure budget `fail_delta`, and a
+    /// sketch seed.
+    ///
+    /// Use [`Self::for_params`] to derive `s` from `(k, z, ε)` as the paper
+    /// does.  Requires `side_bits·D ≤ 63` so cell ids fit one word.
+    pub fn new(side_bits: u32, s: usize, fail_delta: f64, seed: u64) -> Self {
+        assert!(D >= 1, "dimension must be at least 1");
+        assert!(side_bits >= 1, "universe must have at least two cells");
+        assert!(
+            (side_bits as usize) * D <= 63,
+            "cell ids need side_bits·D ≤ 63, got {side_bits}·{D}"
+        );
+        assert!(s >= 1, "sparsity target must be positive");
+        // Slack over the F₀ test: the estimator is only (1±ε)-accurate, so
+        // the recovery must tolerate slightly more than s live cells.
+        let recovery_budget = s + s / 2 + 8;
+        let per_level_delta = (fail_delta / (side_bits as f64 + 1.0)).max(1e-12);
+        let levels = (0..=side_bits)
+            .map(|i| {
+                let cells_per_side_bits = side_bits - i;
+                let universe = 1u64 << ((cells_per_side_bits as usize * D).min(63));
+                GridLevel {
+                    recovery: SparseRecovery::new(
+                        recovery_budget,
+                        per_level_delta,
+                        seed ^ (0x5EED_0000 + i as u64),
+                    ),
+                    f0: F0Sketch::for_universe(
+                        universe.max(2),
+                        0.25,
+                        seed ^ (0xF0F0_0000 + i as u64),
+                    ),
+                }
+            })
+            .collect();
+        DynamicCoreset {
+            side_bits,
+            s,
+            levels,
+            net_updates: 0,
+        }
+    }
+
+    /// Creates the structure with the paper's `s = k(4√d/ε)^d + z`.
+    pub fn for_params(side_bits: u32, k: usize, z: u64, eps: f64, fail_delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+        let s = paper_sparsity(k, z, eps, D);
+        assert!(
+            s <= (1 << 22),
+            "sparsity target {s} too large to allocate; increase ε or decrease k/z"
+        );
+        Self::new(side_bits, s as usize, fail_delta, seed)
+    }
+
+    /// Universe side `Δ = 2^side_bits`.
+    pub fn universe_side(&self) -> u64 {
+        1u64 << self.side_bits
+    }
+
+    /// The sparsity target `s`.
+    pub fn sparsity(&self) -> usize {
+        self.s
+    }
+
+    /// Net insertions minus deletions so far.
+    pub fn net_updates(&self) -> i64 {
+        self.net_updates
+    }
+
+    fn cell_id(&self, p: &[u64; D], level: u32) -> u64 {
+        let bits = (self.side_bits - level) as u64;
+        let mut id = 0u64;
+        for (j, &c) in p.iter().enumerate() {
+            id |= (c >> level) << (j as u64 * bits);
+        }
+        id
+    }
+
+    fn check_point(&self, p: &[u64; D]) {
+        let side = self.universe_side();
+        for &c in p.iter() {
+            assert!(c < side, "coordinate {c} outside universe [0, {side})");
+        }
+    }
+
+    /// Inserts point `p`.
+    pub fn insert(&mut self, p: &[u64; D]) {
+        self.apply(p, 1);
+    }
+
+    /// Deletes point `p` (must currently be present — strict turnstile).
+    pub fn delete(&mut self, p: &[u64; D]) {
+        self.apply(p, -1);
+    }
+
+    fn apply(&mut self, p: &[u64; D], delta: i64) {
+        self.check_point(p);
+        self.net_updates += delta;
+        for level in 0..=self.side_bits {
+            let id = self.cell_id(p, level);
+            let gl = &mut self.levels[level as usize];
+            gl.recovery.update(id, delta);
+            gl.f0.update(id, delta);
+        }
+    }
+
+    /// Decodes cell `id` at `level` back to the cell's integer-range
+    /// midpoint in Euclidean coordinates.
+    fn cell_center(&self, id: u64, level: u32) -> [f64; D] {
+        let bits = (self.side_bits - level) as u64;
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let half = ((1u64 << level) - 1) as f64 / 2.0;
+        let mut out = [0.0f64; D];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let c = (id >> (j as u64 * bits)) & mask;
+            *slot = (c << level) as f64 + half;
+        }
+        out
+    }
+
+    /// Extracts the relaxed (ε,k,z)-coreset: weighted cell centers of the
+    /// finest grid whose estimated occupancy is at most `s`.
+    ///
+    /// Returns the coreset together with the level it was read from.
+    pub fn coreset(&self) -> Result<RelaxedCoreset<D>, DynamicCoresetError> {
+        for level in 0..=self.side_bits {
+            let gl = &self.levels[level as usize];
+            if gl.f0.estimate() > self.s as f64 {
+                continue;
+            }
+            match gl.recovery.recover() {
+                Recovery::Exact(cells) => {
+                    let mut reps = Vec::with_capacity(cells.len());
+                    for (id, count) in cells {
+                        if count < 0 {
+                            return Err(DynamicCoresetError::NegativeFrequency { level });
+                        }
+                        reps.push(Weighted::new(self.cell_center(id, level), count as u64));
+                    }
+                    return Ok((reps, level));
+                }
+                // F₀ under-estimated and the recovery saturated: fall
+                // through to the next coarser grid.
+                Recovery::Saturated(_) => continue,
+            }
+        }
+        Err(DynamicCoresetError::Unrecoverable)
+    }
+
+    /// Total sketch storage in machine words.
+    pub fn space_words(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.recovery.words() + l.f0.words())
+            .sum::<usize>()
+            + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_metric::total_weight;
+
+    #[test]
+    fn insert_only_recovers_exact_points() {
+        let mut dc = DynamicCoreset::<2>::new(10, 64, 0.01, 42);
+        let pts: Vec<[u64; 2]> = (0..20).map(|i| [i * 13 % 1024, i * 29 % 1024]).collect();
+        for p in &pts {
+            dc.insert(p);
+        }
+        let (reps, level) = dc.coreset().expect("recovery");
+        assert_eq!(level, 0, "20 points fit the finest grid");
+        assert_eq!(total_weight(&reps), 20);
+        // At level 0 each rep is an actual point location.
+        for p in &pts {
+            let loc = [p[0] as f64, p[1] as f64];
+            assert!(
+                reps.iter().any(|r| r.point == loc),
+                "missing point {p:?} in {reps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deletions_remove_points() {
+        let mut dc = DynamicCoreset::<2>::new(10, 32, 0.01, 7);
+        for i in 0..30u64 {
+            dc.insert(&[i, 2 * i]);
+        }
+        for i in 0..25u64 {
+            dc.delete(&[i, 2 * i]);
+        }
+        let (reps, level) = dc.coreset().expect("recovery");
+        assert_eq!(level, 0);
+        assert_eq!(total_weight(&reps), 5);
+        assert_eq!(dc.net_updates(), 5);
+    }
+
+    #[test]
+    fn duplicates_accumulate_weight() {
+        let mut dc = DynamicCoreset::<1>::new(8, 16, 0.01, 3);
+        for _ in 0..7 {
+            dc.insert(&[100]);
+        }
+        dc.delete(&[100]);
+        let (reps, _) = dc.coreset().expect("recovery");
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].weight, 6);
+    }
+
+    #[test]
+    fn dense_data_escalates_to_coarser_level() {
+        let mut dc = DynamicCoreset::<2>::new(8, 16, 0.01, 11);
+        // 225 spread-out points >> s = 16 at the finest level.
+        for x in 0..15u64 {
+            for y in 0..15u64 {
+                dc.insert(&[x * 17, y * 17]);
+            }
+        }
+        let (reps, level) = dc.coreset().expect("recovery");
+        assert!(level > 0, "must climb above the finest grid");
+        assert_eq!(total_weight(&reps), 225);
+        assert!(reps.len() <= 16 + 16 / 2 + 8);
+    }
+
+    #[test]
+    fn cell_centers_are_within_cell_radius() {
+        let mut dc = DynamicCoreset::<2>::new(8, 4, 0.01, 5);
+        let pts: Vec<[u64; 2]> = vec![[3, 250], [180, 9], [77, 77], [200, 200], [10, 10], [250, 3]];
+        for p in &pts {
+            dc.insert(p);
+        }
+        let (reps, level) = dc.coreset().expect("recovery");
+        let half_diag = ((1u64 << level) as f64) * (2f64).sqrt() / 2.0;
+        for p in &pts {
+            let loc = [p[0] as f64, p[1] as f64];
+            let d = reps
+                .iter()
+                .map(|r| {
+                    let dx = r.point[0] - loc[0];
+                    let dy = r.point[1] - loc[1];
+                    (dx * dx + dy * dy).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= half_diag + 1e-9, "point {p:?} at {d} > {half_diag}");
+        }
+    }
+
+    #[test]
+    fn paper_sparsity_formula() {
+        // k(4√d/ε)^d + z for d=1, ε=1: 4k + z.
+        assert_eq!(paper_sparsity(2, 3, 1.0, 1), 11);
+        // Saturates instead of overflowing.
+        assert_eq!(paper_sparsity(1, 0, 1e-12, 8), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn rejects_out_of_range_points() {
+        let mut dc = DynamicCoreset::<2>::new(4, 4, 0.01, 0);
+        dc.insert(&[16, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "side_bits")]
+    fn rejects_oversized_universe() {
+        let _ = DynamicCoreset::<3>::new(22, 4, 0.01, 0);
+    }
+
+    #[test]
+    fn empty_structure_yields_empty_coreset() {
+        let dc = DynamicCoreset::<2>::new(6, 8, 0.01, 1);
+        let (reps, _) = dc.coreset().expect("recovery of nothing");
+        assert!(reps.is_empty());
+    }
+
+    #[test]
+    fn space_grows_with_side_bits() {
+        let small = DynamicCoreset::<2>::new(6, 32, 0.01, 0).space_words();
+        let large = DynamicCoreset::<2>::new(24, 32, 0.01, 0).space_words();
+        assert!(large > 2 * small, "{large} vs {small}");
+    }
+}

@@ -1,0 +1,474 @@
+//! Algorithm 3: the space-optimal insertion-only streaming coreset.
+//!
+//! The structure keeps a lower bound `r ≤ opt_{k,z}(P(t))` and a weighted
+//! representative set `P*`.  An arriving point is absorbed by a
+//! representative within `a·r` of it (the paper uses `a = ε/2`); otherwise
+//! it becomes a new representative.  Once `|P*|` reaches the capacity
+//! `k(16/ε)^d + z`, the packing bound (Lemma 6) certifies `2r ≤ opt`, so
+//! `r` doubles and `UpdateCoreset` (Algorithm 4) re-clusters at the new
+//! granularity.  Lemma 16 bounds the accumulated drift of any input point
+//! to its representative by `2a·r = ε·r ≤ ε·opt`, making `P*` an
+//! (ε,k,z)-mini-ball covering at all times (Lemma 17, Theorem 18).
+//!
+//! [`DoublingCoreset`] exposes the absorb factor and the capacity as
+//! parameters; the baselines in [`crate::baselines`] are the same engine
+//! with different settings, which is exactly how they differ in the
+//! literature (see `DESIGN.md`).
+
+use kcz_coreset::{streaming_capacity, update_coreset};
+use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
+
+/// Radius-doubling streaming engine (Algorithm 3 generalized over the
+/// absorb factor `a` and the capacity threshold).
+#[derive(Debug, Clone)]
+pub struct DoublingCoreset<P, M> {
+    metric: M,
+    k: usize,
+    z: u64,
+    absorb: f64,
+    capacity: u64,
+    r: f64,
+    reps: Vec<Weighted<P>>,
+    n_seen: u64,
+    rebuilds: u64,
+    peak_words: usize,
+    /// Drift guarantee in units of `a·r`: 2 for a pure stream (Lemma 16),
+    /// +1 per merge generation (Lemma 5 composition; see [`Self::merge`]).
+    drift_factor: f64,
+}
+
+impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
+    /// Creates the engine.  `absorb` is the factor `a` multiplying `r` in
+    /// the absorption test; `capacity` is the re-cluster threshold and must
+    /// exceed `k + z + 1` so the initial radius can be established.
+    pub fn new(metric: M, k: usize, z: u64, absorb: f64, capacity: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(absorb > 0.0, "absorb factor must be positive");
+        assert!(
+            capacity > k as u64 + z + 1,
+            "capacity {capacity} must exceed k + z + 1 = {}",
+            k as u64 + z + 1
+        );
+        DoublingCoreset {
+            metric,
+            k,
+            z,
+            absorb,
+            capacity,
+            r: 0.0,
+            reps: Vec::new(),
+            n_seen: 0,
+            rebuilds: 0,
+            peak_words: 0,
+            drift_factor: 2.0,
+        }
+    }
+
+    /// Merges another summary (built with the same parameters) into this
+    /// one — distributed/sharded stream ingestion via the union property
+    /// (Lemma 4) plus one recompression (Lemma 5).
+    ///
+    /// Each merge generation adds one `a·r` term to the drift bound
+    /// (mirroring the `(1+ε)^R − 1` composition of Theorem 35), which
+    /// [`Self::drift_bound`] tracks.
+    pub fn merge(&mut self, other: DoublingCoreset<P, M>) {
+        assert!(
+            self.k == other.k
+                && self.z == other.z
+                && self.absorb == other.absorb
+                && self.capacity == other.capacity,
+            "merge requires identical (k, z, absorb, capacity) parameters"
+        );
+        self.n_seen += other.n_seen;
+        self.r = self.r.max(other.r);
+        self.drift_factor = self.drift_factor.max(other.drift_factor) + 1.0;
+        self.reps.extend(other.reps);
+        if self.r > 0.0 {
+            // Re-establish the mini-ball granularity at the merged radius.
+            self.reps = update_coreset(&self.metric, &self.reps, self.absorb * self.r);
+        } else {
+            // Both sides pre-radius: merge exact duplicates only.
+            self.reps = update_coreset(&self.metric, &self.reps, 0.0);
+            if self.reps.len() as u64 > self.k as u64 + self.z {
+                if let Some(min) = self.min_pairwise() {
+                    self.r = min / 2.0;
+                }
+            }
+        }
+        while self.r > 0.0 && self.reps.len() as u64 >= self.capacity {
+            self.r *= 2.0;
+            self.reps = update_coreset(&self.metric, &self.reps, self.absorb * self.r);
+            self.rebuilds += 1;
+        }
+        self.peak_words = self.peak_words.max(self.space_words());
+    }
+
+    /// Handles the arrival of one point (`HandleArrival` in Algorithm 3).
+    pub fn insert(&mut self, p: P) {
+        self.insert_weighted(p, 1);
+    }
+
+    /// Handles the arrival of a point of weight `w` (the paper's weighted
+    /// formulation; equivalent to `w` co-located unit arrivals).
+    pub fn insert_weighted(&mut self, p: P, w: u64) {
+        assert!(w > 0, "weights must be positive integers");
+        self.n_seen += w;
+        let threshold = self.absorb * self.r;
+        // Line 1–2: absorb into a representative within a·r.
+        let mut absorbed = false;
+        for q in &mut self.reps {
+            if self.metric.dist(&p, &q.point) <= threshold {
+                q.weight = q.weight.saturating_add(w);
+                absorbed = true;
+                break;
+            }
+        }
+        if !absorbed {
+            // Line 4: new representative.
+            self.reps.push(Weighted::new(p, w));
+            // Line 5–7: establish the initial radius from the minimum
+            // pairwise distance once k+z+1 distinct points are present.
+            if self.r == 0.0 && self.reps.len() as u64 > self.k as u64 + self.z {
+                if let Some(min) = self.min_pairwise() {
+                    self.r = min / 2.0;
+                }
+            }
+            // Line 8–10: double r and re-cluster until under capacity.
+            while self.r > 0.0 && self.reps.len() as u64 >= self.capacity {
+                self.r *= 2.0;
+                self.reps = update_coreset(&self.metric, &self.reps, self.absorb * self.r);
+                self.rebuilds += 1;
+            }
+        }
+        self.peak_words = self.peak_words.max(self.space_words());
+    }
+
+    fn min_pairwise(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for i in 0..self.reps.len() {
+            for j in (i + 1)..self.reps.len() {
+                let d = self.metric.dist(&self.reps[i].point, &self.reps[j].point);
+                if d > 0.0 && best.is_none_or(|b| d < b) {
+                    best = Some(d);
+                }
+            }
+        }
+        best
+    }
+
+    /// The current coreset `P*`.
+    pub fn coreset(&self) -> &[Weighted<P>] {
+        &self.reps
+    }
+
+    /// Current lower bound `r ≤ opt_{k,z}(P(t))`.
+    pub fn radius_bound(&self) -> f64 {
+        self.r
+    }
+
+    /// Points consumed so far.
+    pub fn points_seen(&self) -> u64 {
+        self.n_seen
+    }
+
+    /// Number of doubling re-clusters performed.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Drift guarantee: every stream point has a representative within
+    /// `drift_factor·a·r` of it — `2a·r` for a pure stream (Lemma 16;
+    /// with `a = ε/2` that is `ε·r`), plus `a·r` per merge generation.
+    pub fn drift_bound(&self) -> f64 {
+        self.drift_factor * self.absorb * self.r
+    }
+
+    /// Current storage in machine words.
+    pub fn space_words(&self) -> usize {
+        self.reps.words() + 6
+    }
+
+    /// Maximum storage observed over the stream so far.
+    pub fn peak_words(&self) -> usize {
+        self.peak_words
+    }
+}
+
+/// The paper's insertion-only streaming coreset (Theorem 18):
+/// [`DoublingCoreset`] with absorb factor `ε/2` and capacity
+/// `k(16/ε)^d + z`.
+#[derive(Debug, Clone)]
+pub struct InsertionOnlyCoreset<P, M> {
+    inner: DoublingCoreset<P, M>,
+    eps: f64,
+}
+
+impl<P: Clone + SpaceUsage, M: MetricSpace<P>> InsertionOnlyCoreset<P, M> {
+    /// Creates the structure for a space of doubling dimension
+    /// `metric.doubling_dim()`.
+    pub fn new(metric: M, k: usize, z: u64, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+        let d = metric.doubling_dim();
+        let capacity = streaming_capacity(k, z, eps, d);
+        InsertionOnlyCoreset {
+            inner: DoublingCoreset::new(metric, k, z, eps / 2.0, capacity),
+            eps,
+        }
+    }
+
+    /// Handles an arrival.
+    pub fn insert(&mut self, p: P) {
+        self.inner.insert(p);
+    }
+
+    /// Handles a weighted arrival (equivalent to `w` unit arrivals at the
+    /// same location).
+    pub fn insert_weighted(&mut self, p: P, w: u64) {
+        self.inner.insert_weighted(p, w);
+    }
+
+    /// The maintained (ε,k,z)-coreset.
+    pub fn coreset(&self) -> &[Weighted<P>] {
+        self.inner.coreset()
+    }
+
+    /// The ε this structure guarantees.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Lower bound `r ≤ opt`.
+    pub fn radius_bound(&self) -> f64 {
+        self.inner.radius_bound()
+    }
+
+    /// Covering-property bound: reps are within `ε·r ≤ ε·opt` of the
+    /// points they represent (Lemma 16).
+    pub fn drift_bound(&self) -> f64 {
+        self.inner.drift_bound()
+    }
+
+    /// Current storage in words.
+    pub fn space_words(&self) -> usize {
+        self.inner.space_words()
+    }
+
+    /// Peak storage in words.
+    pub fn peak_words(&self) -> usize {
+        self.inner.peak_words()
+    }
+
+    /// Number of re-cluster events.
+    pub fn rebuilds(&self) -> u64 {
+        self.inner.rebuilds()
+    }
+
+    /// Points consumed.
+    pub fn points_seen(&self) -> u64 {
+        self.inner.points_seen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_coreset::streaming_capacity;
+    use kcz_kcenter::exact_discrete;
+    use kcz_metric::{total_weight, L2};
+
+    /// Deterministic pseudo-random stream: two clusters + outliers.
+    fn stream(n: usize) -> Vec<[f64; 2]> {
+        let mut out = Vec::with_capacity(n);
+        let mut s = 0x12345678u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            if i % 50 == 49 {
+                out.push([1000.0 + next() * 5000.0, -2000.0 - next() * 3000.0]);
+            } else if i % 2 == 0 {
+                out.push([next() * 2.0, next() * 2.0]);
+            } else {
+                out.push([80.0 + next() * 2.0, 80.0 + next() * 2.0]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn weight_preserved_over_stream() {
+        let mut alg = InsertionOnlyCoreset::new(L2, 2, 12, 0.5);
+        let pts = stream(400);
+        for p in &pts {
+            alg.insert(*p);
+        }
+        assert_eq!(total_weight(alg.coreset()), 400);
+        assert_eq!(alg.points_seen(), 400);
+    }
+
+    #[test]
+    fn radius_is_lower_bound_on_opt() {
+        let pts = stream(300);
+        let mut alg = InsertionOnlyCoreset::new(L2, 2, 12, 0.5);
+        for p in &pts {
+            alg.insert(*p);
+        }
+        let weighted: Vec<Weighted<[f64; 2]>> = pts.iter().map(|p| Weighted::unit(*p)).collect();
+        let opt = exact_discrete(&L2, &weighted, 2, 12, &pts).radius;
+        assert!(
+            alg.radius_bound() <= opt + 1e-9,
+            "r = {} > opt = {opt}",
+            alg.radius_bound()
+        );
+    }
+
+    #[test]
+    fn covering_property_at_every_prefix() {
+        let pts = stream(250);
+        let mut alg = InsertionOnlyCoreset::new(L2, 2, 6, 0.8);
+        for (t, p) in pts.iter().enumerate() {
+            alg.insert(*p);
+            if t % 40 == 39 {
+                let bound = alg.drift_bound() + 1e-12;
+                for q in &pts[..=t] {
+                    let d = alg
+                        .coreset()
+                        .iter()
+                        .map(|r| L2.dist(q, &r.point))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(d <= bound, "prefix {t}: point {q:?} at {d} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_stays_below_capacity() {
+        let pts = stream(2000);
+        let k = 2;
+        let z = 12;
+        let eps = 1.0;
+        let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
+        let cap = streaming_capacity(k, z, eps, 2);
+        for p in &pts {
+            alg.insert(*p);
+            assert!((alg.coreset().len() as u64) < cap.max(1) + 1);
+        }
+        assert!((alg.coreset().len() as u64) < cap);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream() {
+        let mut alg = InsertionOnlyCoreset::new(L2, 1, 2, 0.5);
+        for i in 0..100 {
+            alg.insert([(i % 3) as f64, 0.0]);
+        }
+        // Only 3 distinct locations, k+z+1 = 4 never reached: r stays 0.
+        assert_eq!(alg.radius_bound(), 0.0);
+        assert_eq!(alg.coreset().len(), 3);
+        assert_eq!(total_weight(alg.coreset()), 100);
+    }
+
+    #[test]
+    fn rebuilds_happen_when_capacity_hit() {
+        // Capacity for (k=1, z=0, ε=1, d=2) is 16² = 256; a line of 300
+        // unit-spaced points must overflow it and trigger doubling.
+        let mut alg = InsertionOnlyCoreset::new(L2, 1, 0, 1.0);
+        for i in 0..300 {
+            alg.insert([i as f64, 0.0]);
+        }
+        assert!(alg.rebuilds() > 0, "expected at least one doubling");
+        assert!((alg.coreset().len() as u64) < streaming_capacity(1, 0, 1.0, 2));
+        assert_eq!(total_weight(alg.coreset()), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn tiny_capacity_rejected() {
+        let _ = DoublingCoreset::<[f64; 2], _>::new(L2, 2, 5, 0.5, 8);
+    }
+
+    #[test]
+    fn merged_shards_form_valid_covering() {
+        // Split one stream over two shards, merge, and verify weight
+        // preservation plus the (widened) covering bound for all points.
+        let pts = stream(600);
+        let (a_pts, b_pts) = pts.split_at(300);
+        let mk = || DoublingCoreset::<[f64; 2], _>::new(L2, 2, 8, 0.25, 200);
+        let mut a = mk();
+        let mut b = mk();
+        for p in a_pts {
+            a.insert(*p);
+        }
+        for p in b_pts {
+            b.insert(*p);
+        }
+        a.merge(b);
+        assert_eq!(total_weight(a.coreset()), 600);
+        let bound = a.drift_bound() + 1e-12;
+        for p in &pts {
+            let d = a
+                .coreset()
+                .iter()
+                .map(|r| L2.dist(p, &r.point))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= bound, "point {p:?} at {d} > {bound}");
+        }
+        // One merge generation: factor 3 instead of 2.
+        assert!((a.drift_bound() - 3.0 * 0.25 * a.radius_bound()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_on_content() {
+        let pts = stream(100);
+        let mk = || DoublingCoreset::<[f64; 2], _>::new(L2, 2, 4, 0.25, 120);
+        let mut a = mk();
+        for p in &pts {
+            a.insert(*p);
+        }
+        let before: Vec<_> = a.coreset().to_vec();
+        a.merge(mk());
+        assert_eq!(total_weight(a.coreset()), 100);
+        // Content may be re-clustered but weight and covering stay intact;
+        // with an empty other side and unchanged r, reps are preserved.
+        assert_eq!(a.coreset().len(), before.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn merge_rejects_mismatched_parameters() {
+        let mut a = DoublingCoreset::<[f64; 2], _>::new(L2, 2, 4, 0.25, 120);
+        let b = DoublingCoreset::<[f64; 2], _>::new(L2, 3, 4, 0.25, 120);
+        a.merge(b);
+    }
+
+    #[test]
+    fn weighted_inserts_equal_repeated_unit_inserts() {
+        let pts = stream(60);
+        let mut unit_alg = InsertionOnlyCoreset::new(L2, 2, 4, 0.5);
+        let mut weighted_alg = InsertionOnlyCoreset::new(L2, 2, 4, 0.5);
+        for p in &pts {
+            for _ in 0..3 {
+                unit_alg.insert(*p);
+            }
+            weighted_alg.insert_weighted(*p, 3);
+        }
+        assert_eq!(total_weight(unit_alg.coreset()), 180);
+        assert_eq!(total_weight(weighted_alg.coreset()), 180);
+        assert_eq!(unit_alg.coreset().len(), weighted_alg.coreset().len());
+        for (a, b) in unit_alg.coreset().iter().zip(weighted_alg.coreset()) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_insert_rejected() {
+        let mut alg = InsertionOnlyCoreset::new(L2, 1, 0, 0.5);
+        alg.insert_weighted([0.0, 0.0], 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Sliding-window coreset: a reconstruction of the de Berg–Monemizadeh–
+//! Zhong algorithm (ESA 2021, reference \[18\] of the paper), whose
+//! `O((kz/ε^d)·log σ)` space Section 6 proves optimal.
+//!
+//! For every radius guess `ρ ∈ {ρ_min·2^i}` the structure maintains
+//! *mini-ball clusters*: an anchor location plus the `z+1` newest window
+//! points within `ε·ρ/4` of the anchor.  Keeping only the newest `z+1`
+//! points per cluster is lossless for the k-center-with-z-outliers
+//! objective: a mini-ball holding more than `z+1` unexpired points can
+//! never be entirely outliers, so weights may be clamped at `z+1`; and if
+//! any stored point of a cluster has expired, every unstored (older) point
+//! of that cluster has expired too, so the stored survivors are exactly
+//! the unexpired content.
+//!
+//! A query returns, for the smallest *reliable* guess with at most
+//! `k(16/ε)^d + z` clusters (Lemma 6 packing: more clusters certify
+//! `opt > ρ`), all stored unexpired points at unit weight.  If a guess
+//! ever exceeds the cluster cap, the cluster expiring soonest is evicted
+//! and the guess is marked unreliable until the evicted points would have
+//! left the window anyway (`eviction time + W`), after which its content
+//! is provably complete again.
+
+use std::collections::VecDeque;
+
+use kcz_coreset::streaming_capacity;
+use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
+
+/// One mini-ball cluster of a radius guess.
+#[derive(Debug, Clone)]
+struct SwCluster<P> {
+    anchor: P,
+    /// `(arrival time, point)`, oldest first, at most `z+1` entries.
+    pts: VecDeque<(u64, P)>,
+}
+
+/// One radius guess with its clusters.
+#[derive(Debug, Clone)]
+struct Guess<P> {
+    rho: f64,
+    clusters: Vec<SwCluster<P>>,
+    /// Queries before this time must not trust the guess (an eviction
+    /// removed points that may still be in the window).
+    tainted_until: u64,
+}
+
+/// Result of a sliding-window query.
+#[derive(Debug, Clone)]
+pub struct SwQuery<P> {
+    /// Unit-weight coreset points (window points, weights clamped at `z+1`
+    /// per mini-ball by construction).
+    pub coreset: Vec<Weighted<P>>,
+    /// The radius guess the coreset was read from.
+    pub rho: f64,
+    /// Number of clusters at that guess.
+    pub clusters: usize,
+    /// How many finer guesses were skipped because they were tainted.
+    pub tainted_skipped: usize,
+}
+
+/// Sliding-window (ε,k,z)-coreset over the last `window` arrivals.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowCoreset<P, M> {
+    metric: M,
+    z: u64,
+    eps: f64,
+    window: u64,
+    time: u64,
+    cap: u64,
+    guesses: Vec<Guess<P>>,
+    evictions: u64,
+    peak_words: usize,
+}
+
+impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
+    /// Creates the structure.  `rho_min..=rho_max` must bracket the
+    /// optimal radius of every window that will be queried (they play the
+    /// role of the spread bounds σ in the paper's analysis; the number of
+    /// guesses is `log₂(rho_max/rho_min) + 1`).
+    pub fn new(
+        metric: M,
+        k: usize,
+        z: u64,
+        eps: f64,
+        window: u64,
+        rho_min: f64,
+        rho_max: f64,
+    ) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
+        assert!(window >= 1, "window must be at least 1");
+        assert!(
+            rho_min > 0.0 && rho_min <= rho_max,
+            "need 0 < rho_min ≤ rho_max"
+        );
+        let d = metric.doubling_dim();
+        let cap = streaming_capacity(k, z, eps, d);
+        let mut guesses = Vec::new();
+        let mut rho = rho_min;
+        while rho < 2.0 * rho_max {
+            guesses.push(Guess {
+                rho,
+                clusters: Vec::new(),
+                tainted_until: 0,
+            });
+            rho *= 2.0;
+        }
+        SlidingWindowCoreset {
+            metric,
+            z,
+            eps,
+            window,
+            time: 0,
+            cap,
+            guesses,
+            evictions: 0,
+            peak_words: 0,
+        }
+    }
+
+    /// Number of radius guesses maintained (`Θ(log σ)`).
+    pub fn num_guesses(&self) -> usize {
+        self.guesses.len()
+    }
+
+    /// Arrival count so far (the clock).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Cap-overflow evictions performed (diagnostic; each taints one guess
+    /// for one window length).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn expire(cluster_list: &mut Vec<SwCluster<P>>, now: u64, window: u64) {
+        for c in cluster_list.iter_mut() {
+            while let Some(&(t, _)) = c.pts.front() {
+                if t + window <= now {
+                    c.pts.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        cluster_list.retain(|c| !c.pts.is_empty());
+    }
+
+    /// Handles one arrival.
+    pub fn insert(&mut self, p: P) {
+        self.time += 1;
+        let now = self.time;
+        let keep = self.z as usize + 1;
+        for g in &mut self.guesses {
+            Self::expire(&mut g.clusters, now, self.window);
+            let absorb = self.eps * g.rho / 4.0;
+            let mut placed = false;
+            for c in &mut g.clusters {
+                if self.metric.dist(&c.anchor, &p) <= absorb {
+                    c.pts.push_back((now, p.clone()));
+                    if c.pts.len() > keep {
+                        c.pts.pop_front();
+                    }
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                let mut pts = VecDeque::with_capacity(1);
+                pts.push_back((now, p.clone()));
+                g.clusters.push(SwCluster {
+                    anchor: p.clone(),
+                    pts,
+                });
+                if g.clusters.len() as u64 > self.cap {
+                    // Packing bound violated ⇒ opt(window) > ρ right now.
+                    // Evict the cluster that expires soonest and taint the
+                    // guess until its points would have expired anyway.
+                    let victim = g
+                        .clusters
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, c)| c.pts.back().map(|&(t, _)| t).unwrap_or(0))
+                        .map(|(i, _)| i)
+                        .expect("non-empty cluster list");
+                    g.clusters.swap_remove(victim);
+                    g.tainted_until = now + self.window;
+                    self.evictions += 1;
+                }
+            }
+        }
+        self.peak_words = self.peak_words.max(self.space_words());
+    }
+
+    /// Queries the coreset for the current window.
+    ///
+    /// Returns `None` only when the window is empty.
+    pub fn query(&mut self) -> Option<SwQuery<P>> {
+        let now = self.time;
+        let window = self.window;
+        let mut tainted_skipped = 0usize;
+        let mut fallback: Option<usize> = None;
+        let mut chosen: Option<usize> = None;
+        for (i, g) in self.guesses.iter_mut().enumerate() {
+            Self::expire(&mut g.clusters, now, window);
+            if g.clusters.is_empty() {
+                continue;
+            }
+            if (g.clusters.len() as u64) <= self.cap {
+                if now >= g.tainted_until {
+                    chosen = Some(i);
+                    break;
+                }
+                tainted_skipped += 1;
+                fallback = fallback.or(Some(i));
+            }
+        }
+        let idx = chosen.or(fallback)?;
+        let g = &self.guesses[idx];
+        let mut coreset = Vec::new();
+        for c in &g.clusters {
+            for (_, p) in &c.pts {
+                coreset.push(Weighted::unit(p.clone()));
+            }
+        }
+        Some(SwQuery {
+            coreset,
+            rho: g.rho,
+            clusters: g.clusters.len(),
+            tainted_skipped,
+        })
+    }
+
+    /// The points of the current window still stored anywhere (dedup not
+    /// applied; diagnostic).
+    pub fn stored_points(&self) -> usize {
+        self.guesses
+            .iter()
+            .map(|g| g.clusters.iter().map(|c| c.pts.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Current storage in machine words.
+    pub fn space_words(&self) -> usize {
+        let mut words = 6;
+        for g in &self.guesses {
+            words += 2;
+            for c in &g.clusters {
+                words += c.anchor.words() + 1;
+                words += c
+                    .pts
+                    .iter()
+                    .map(|(_, p)| p.words() + 1)
+                    .sum::<usize>();
+            }
+        }
+        words
+    }
+
+    /// Peak storage observed.
+    pub fn peak_words(&self) -> usize {
+        self.peak_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_metric::L2;
+
+    fn drive(
+        alg: &mut SlidingWindowCoreset<[f64; 2], L2>,
+        pts: &[[f64; 2]],
+    ) {
+        for p in pts {
+            alg.insert(*p);
+        }
+    }
+
+    #[test]
+    fn window_contents_only() {
+        let mut alg = SlidingWindowCoreset::new(L2, 1, 0, 1.0, 5, 0.1, 100.0);
+        // 10 arrivals at distinct locations; window keeps the last 5.
+        let pts: Vec<[f64; 2]> = (0..10).map(|i| [i as f64 * 10.0, 0.0]).collect();
+        drive(&mut alg, &pts);
+        let q = alg.query().expect("non-empty window");
+        for w in &q.coreset {
+            assert!(w.point[0] >= 50.0, "expired point {:?} leaked", w.point);
+        }
+    }
+
+    #[test]
+    fn keeps_newest_z_plus_one_per_ball() {
+        let mut alg = SlidingWindowCoreset::new(L2, 1, 2, 1.0, 100, 0.1, 100.0);
+        // 50 arrivals at the same location: each cluster stores ≤ z+1 = 3.
+        for _ in 0..50 {
+            alg.insert([1.0, 1.0]);
+        }
+        let q = alg.query().unwrap();
+        assert!(q.coreset.len() <= 3, "stored {}", q.coreset.len());
+    }
+
+    #[test]
+    fn outlier_clamping_preserves_decisions() {
+        // A heavy cluster plus z distant stragglers: the coreset must
+        // retain enough weight in the cluster to forbid discarding it.
+        let z = 3u64;
+        let mut alg = SlidingWindowCoreset::new(L2, 1, z, 1.0, 1000, 0.1, 10_000.0);
+        for i in 0..40 {
+            alg.insert([(i % 7) as f64 * 0.01, 0.0]);
+        }
+        for i in 0..3 {
+            alg.insert([5000.0 + i as f64, 5000.0]);
+        }
+        let q = alg.query().unwrap();
+        let near = q
+            .coreset
+            .iter()
+            .filter(|w| w.point[0] < 1.0)
+            .count() as u64;
+        assert!(near > z, "cluster weight clamped too low: {near}");
+    }
+
+    #[test]
+    fn space_bounded_by_guesses_times_cap() {
+        let (k, z, eps) = (2usize, 4u64, 1.0f64);
+        let mut alg = SlidingWindowCoreset::new(L2, k, z, eps, 200, 0.5, 512.0);
+        let mut s = 1u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..2000 {
+            alg.insert([next() * 300.0, next() * 300.0]);
+        }
+        let cap = kcz_coreset::streaming_capacity(k, z, eps, 2);
+        let per_point_words = 3; // 2 coords + timestamp
+        let bound =
+            alg.num_guesses() * (cap as usize) * ((z as usize + 1) * per_point_words + 3) + 64;
+        assert!(
+            alg.peak_words() <= bound,
+            "peak {} exceeds bound {bound}",
+            alg.peak_words()
+        );
+    }
+
+    #[test]
+    fn query_prefers_finest_reliable_guess() {
+        let mut alg = SlidingWindowCoreset::new(L2, 2, 0, 1.0, 50, 0.125, 1024.0);
+        // Two tight clusters 100 apart: opt(k=2) ≈ 0.2, so a small guess
+        // should win.
+        for i in 0..30 {
+            let x = (i % 5) as f64 * 0.05;
+            alg.insert(if i % 2 == 0 { [x, 0.0] } else { [100.0 + x, 0.0] });
+        }
+        let q = alg.query().unwrap();
+        assert!(q.rho <= 2.0, "chose needlessly coarse guess {}", q.rho);
+    }
+
+    #[test]
+    fn empty_window_query_is_none() {
+        let mut alg: SlidingWindowCoreset<[f64; 2], L2> =
+            SlidingWindowCoreset::new(L2, 1, 0, 0.5, 3, 1.0, 10.0);
+        assert!(alg.query().is_none());
+        alg.insert([0.0, 0.0]);
+        alg.insert([1.0, 0.0]);
+        alg.insert([2.0, 0.0]);
+        assert!(alg.query().is_some());
+        // Push the window past all content with far-away arrivals, then
+        // confirm old points are gone.
+        for i in 0..3 {
+            alg.insert([1000.0 + i as f64, 0.0]);
+        }
+        let q = alg.query().unwrap();
+        assert!(q.coreset.iter().all(|w| w.point[0] >= 1000.0));
+    }
+
+    #[test]
+    fn eviction_taints_then_recovers() {
+        // k=1, eps=1, d=2 → cap = 16 + z. Flood with far-apart points at a
+        // tiny guess to force evictions, then verify queries still answer.
+        // cap = 16² = 256 clusters; 400 pairwise-far points within one
+        // window overflow the smallest guesses.
+        let mut alg = SlidingWindowCoreset::new(L2, 1, 0, 1.0, 10_000, 0.01, 10_000.0);
+        for i in 0..400u64 {
+            let a = i as f64;
+            alg.insert([a * 97.0, (a * 13.0) % 701.0]);
+        }
+        assert!(alg.evictions() > 0, "expected cap overflow at tiny guesses");
+        let q = alg.query().expect("window non-empty");
+        assert!(!q.coreset.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Point-set generators with planted structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated instance with known ground truth.
+#[derive(Debug, Clone)]
+pub struct ClusteredInstance<const D: usize> {
+    /// All points: first the cluster points, then the outliers.
+    pub points: Vec<[f64; D]>,
+    /// Number of (non-outlier) cluster points.
+    pub n_cluster_points: usize,
+    /// Number of planted outliers.
+    pub n_outliers: usize,
+    /// The planted cluster centers.
+    pub centers: Vec<[f64; D]>,
+    /// Max distance of any cluster point to its own center — an upper
+    /// bound on `opt_{k,z}` when all z outliers are discarded.
+    pub planted_radius: f64,
+    /// `outlier_flags[i]` is true iff `points[i]` is a planted outlier.
+    pub outlier_flags: Vec<bool>,
+}
+
+fn dist<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..D {
+        let d = a[i] - b[i];
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+/// Standard-normal sample via Box–Muller (the `rand` crate ships no
+/// distributions; `rand_distr` is not among our allowed dependencies).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `k` Gaussian clusters of `per_cluster` points with standard deviation
+/// `sigma`, plus `z` far-away outliers.
+///
+/// Cluster centers are separated by at least `30σ`, outliers lie at least
+/// `15σ` away from every center, so for the intended `(k, z)` the planted
+/// structure is the essentially optimal clustering.
+pub fn gaussian_clusters<const D: usize>(
+    k: usize,
+    per_cluster: usize,
+    sigma: f64,
+    z: usize,
+    seed: u64,
+) -> ClusteredInstance<D> {
+    assert!(k >= 1 && per_cluster >= 1);
+    assert!(sigma > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let arena = (k as f64).powf(1.0 / D as f64).ceil() * 60.0 * sigma + 60.0 * sigma;
+
+    // Rejection-sample well-separated centers.
+    let mut centers: Vec<[f64; D]> = Vec::with_capacity(k);
+    let mut attempts = 0usize;
+    while centers.len() < k {
+        attempts += 1;
+        assert!(attempts < 100_000, "could not separate {k} centers");
+        let mut c = [0.0; D];
+        for slot in c.iter_mut() {
+            *slot = rng.random_range(0.0..arena);
+        }
+        if centers.iter().all(|e| dist(e, &c) >= 30.0 * sigma) {
+            centers.push(c);
+        }
+    }
+
+    let mut points = Vec::with_capacity(k * per_cluster + z);
+    let mut planted_radius = 0.0f64;
+    for c in &centers {
+        for _ in 0..per_cluster {
+            let mut p = *c;
+            for slot in p.iter_mut() {
+                *slot += sigma * gaussian(&mut rng);
+            }
+            planted_radius = planted_radius.max(dist(c, &p));
+            points.push(p);
+        }
+    }
+    let n_cluster_points = points.len();
+
+    // Outliers: uniform in a larger box, far from every center.
+    let mut placed = 0usize;
+    attempts = 0;
+    while placed < z {
+        attempts += 1;
+        assert!(attempts < 1_000_000, "could not place {z} outliers");
+        let mut p = [0.0; D];
+        for slot in p.iter_mut() {
+            *slot = rng.random_range(-arena..2.0 * arena);
+        }
+        if centers.iter().all(|c| dist(c, &p) >= 15.0 * sigma) {
+            points.push(p);
+            placed += 1;
+        }
+    }
+
+    let mut outlier_flags = vec![false; points.len()];
+    for f in outlier_flags.iter_mut().skip(n_cluster_points) {
+        *f = true;
+    }
+    ClusteredInstance {
+        points,
+        n_cluster_points,
+        n_outliers: z,
+        centers,
+        planted_radius,
+        outlier_flags,
+    }
+}
+
+/// `n` points uniform in `[0, side]^D`.
+pub fn uniform_box<const D: usize>(n: usize, side: f64, seed: u64) -> Vec<[f64; D]> {
+    assert!(side > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut p = [0.0; D];
+            for slot in p.iter_mut() {
+                *slot = rng.random_range(0.0..side);
+            }
+            p
+        })
+        .collect()
+}
+
+/// Clustered *integer* points in the discrete universe `[0, 2^side_bits)^D`
+/// for the fully dynamic experiments: `k` blobs of `per_cluster` points
+/// with radius `spread` cells, plus `z` uniform outliers.  Duplicates are
+/// removed (Algorithm 5's strict turnstile model counts multiplicities;
+/// distinct points keep the schedules simple).
+pub fn grid_clusters<const D: usize>(
+    side_bits: u32,
+    k: usize,
+    per_cluster: usize,
+    spread: u64,
+    z: usize,
+    seed: u64,
+) -> Vec<[u64; D]> {
+    assert!(side_bits >= 2 && (side_bits as usize) * D <= 63);
+    let side = 1u64 << side_bits;
+    assert!(spread > 0 && spread < side / 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<[u64; D]> = Vec::with_capacity(k * per_cluster + z);
+    let mut centers = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut c = [0u64; D];
+        for slot in c.iter_mut() {
+            *slot = rng.random_range(spread * 2..side - spread * 2);
+        }
+        centers.push(c);
+    }
+    for c in &centers {
+        for _ in 0..per_cluster {
+            let mut p = *c;
+            for slot in p.iter_mut() {
+                let offset = rng.random_range(0..=2 * spread) as i64 - spread as i64;
+                *slot = (*slot as i64 + offset).clamp(0, side as i64 - 1) as u64;
+            }
+            out.push(p);
+        }
+    }
+    for _ in 0..z {
+        let mut p = [0u64; D];
+        for slot in p.iter_mut() {
+            *slot = rng.random_range(0..side);
+        }
+        out.push(p);
+    }
+    out.sort_unstable();
+    out.dedup();
+    // Deterministic order again, independent of dedup artifacts.
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0xABCD);
+    for i in (1..out.len()).rev() {
+        let j = rng2.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_have_planted_structure() {
+        let inst = gaussian_clusters::<2>(3, 50, 1.0, 7, 42);
+        assert_eq!(inst.points.len(), 157);
+        assert_eq!(inst.n_cluster_points, 150);
+        assert_eq!(inst.n_outliers, 7);
+        assert_eq!(inst.centers.len(), 3);
+        // Centers well separated.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(dist(&inst.centers[i], &inst.centers[j]) >= 30.0);
+            }
+        }
+        // Outliers far from all centers.
+        for (p, &is_out) in inst.points.iter().zip(&inst.outlier_flags) {
+            if is_out {
+                for c in &inst.centers {
+                    assert!(dist(c, p) >= 15.0);
+                }
+            }
+        }
+        // Planted radius is plausible for σ=1, 50 points: a few σ.
+        assert!(inst.planted_radius > 0.5 && inst.planted_radius < 10.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gaussian_clusters::<2>(2, 10, 1.0, 3, 7);
+        let b = gaussian_clusters::<2>(2, 10, 1.0, 3, 7);
+        assert_eq!(a.points, b.points);
+        let c = gaussian_clusters::<2>(2, 10, 1.0, 3, 8);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let pts = uniform_box::<3>(500, 10.0, 1);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            for &c in p.iter() {
+                assert!((0.0..=10.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_points_in_universe() {
+        let pts = grid_clusters::<2>(10, 3, 40, 8, 10, 3);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(p[0] < 1024 && p[1] < 1024);
+        }
+        // Dedup means all distinct.
+        let mut sorted = pts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pts.len());
+    }
+}

@@ -1,0 +1,16 @@
+//! Synthetic workloads for the experiments: clustered data with planted
+//! outliers, machine partitions (random and adversarial), and stream
+//! schedules (shuffles, insert/delete churn, drifting sliding windows).
+//!
+//! Every generator is deterministic given its seed, so experiments and
+//! tests are reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod partition;
+pub mod streams;
+
+pub use generators::{gaussian_clusters, grid_clusters, uniform_box, ClusteredInstance};
+pub use partition::{concentrated_partition, random_partition, round_robin};
+pub use streams::{churn_schedule, drifting_stream, shuffled, DynamicOp};

@@ -1,0 +1,103 @@
+//! Distributing a point set over `m` MPC machines.
+//!
+//! Algorithm 6 assumes a *random* distribution; Algorithm 2 tolerates any
+//! distribution.  [`concentrated_partition`] builds the adversarial case
+//! the 2-round algorithm is designed for: all outliers dumped on a single
+//! machine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deals points round-robin over `m` machines.
+pub fn round_robin<P: Clone>(points: &[P], m: usize) -> Vec<Vec<P>> {
+    assert!(m >= 1, "need at least one machine");
+    let mut out: Vec<Vec<P>> = vec![Vec::with_capacity(points.len() / m + 1); m];
+    for (i, p) in points.iter().enumerate() {
+        out[i % m].push(p.clone());
+    }
+    out
+}
+
+/// Assigns every point to a uniformly random machine (the distribution
+/// assumption of Theorem 33).
+pub fn random_partition<P: Clone>(points: &[P], m: usize, seed: u64) -> Vec<Vec<P>> {
+    assert!(m >= 1, "need at least one machine");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Vec<P>> = vec![Vec::new(); m];
+    for p in points {
+        out[rng.random_range(0..m)].push(p.clone());
+    }
+    out
+}
+
+/// Adversarial distribution: every flagged point (outlier) goes to machine
+/// 0; the rest are dealt round-robin over machines `1..m` (or all of them
+/// if `m == 1`).
+pub fn concentrated_partition<P: Clone>(points: &[P], flags: &[bool], m: usize) -> Vec<Vec<P>> {
+    assert!(m >= 1, "need at least one machine");
+    assert_eq!(points.len(), flags.len(), "one flag per point");
+    let mut out: Vec<Vec<P>> = vec![Vec::new(); m];
+    let spread = m.max(2) - 1;
+    let mut i = 0usize;
+    for (p, &f) in points.iter().zip(flags) {
+        if f || m == 1 {
+            out[0].push(p.clone());
+        } else {
+            out[1 + i % spread].push(p.clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances() {
+        let pts: Vec<u32> = (0..100).collect();
+        let parts = round_robin(&pts, 7);
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        for p in &parts {
+            assert!(p.len() == 14 || p.len() == 15);
+        }
+    }
+
+    #[test]
+    fn random_partition_covers_all() {
+        let pts: Vec<u32> = (0..1000).collect();
+        let parts = random_partition(&pts, 8, 5);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 1000);
+        // Sanity: no machine starved (w.h.p. for n=1000, m=8).
+        for p in &parts {
+            assert!(p.len() > 50, "suspiciously unbalanced: {}", p.len());
+        }
+        // Determinism.
+        assert_eq!(parts, random_partition(&pts, 8, 5));
+    }
+
+    #[test]
+    fn concentrated_puts_flagged_on_machine_zero() {
+        let pts: Vec<u32> = (0..20).collect();
+        let flags: Vec<bool> = (0..20).map(|i| i % 4 == 0).collect();
+        let parts = concentrated_partition(&pts, &flags, 4);
+        assert_eq!(parts[0].len(), 5);
+        for &p in &parts[0] {
+            assert_eq!(p % 4, 0);
+        }
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn single_machine_degenerates() {
+        let pts: Vec<u32> = (0..5).collect();
+        let parts = concentrated_partition(&pts, &[false; 5], 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Stream schedules: shuffles for insertion-only streams, insert/delete
+//! churn for the fully dynamic model, and drifting distributions for the
+//! sliding-window model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single fully-dynamic stream operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicOp<const D: usize> {
+    /// The point being inserted or deleted.
+    pub point: [u64; D],
+    /// `true` = insertion, `false` = deletion.
+    pub insert: bool,
+}
+
+/// Returns the points in a deterministic random order (Fisher–Yates).
+pub fn shuffled<P: Clone>(points: &[P], seed: u64) -> Vec<P> {
+    let mut out: Vec<P> = points.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// A strict-turnstile schedule: insert all of `base`, then perform
+/// `churn` delete/insert pairs that keep the live set inside `base`
+/// (delete a live point, re-insert a currently absent one).  Never deletes
+/// an absent point, so the stream is valid for Algorithm 5.
+pub fn churn_schedule<const D: usize>(
+    base: &[[u64; D]],
+    churn: usize,
+    seed: u64,
+) -> Vec<DynamicOp<D>> {
+    assert!(base.len() >= 2, "churn needs at least two points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(base.len() + 2 * churn);
+    let mut live: Vec<usize> = (0..base.len()).collect();
+    let mut dead: Vec<usize> = Vec::new();
+    for &p in base {
+        ops.push(DynamicOp {
+            point: p,
+            insert: true,
+        });
+    }
+    for _ in 0..churn {
+        // Delete a live point...
+        let li = rng.random_range(0..live.len());
+        let victim = live.swap_remove(li);
+        ops.push(DynamicOp {
+            point: base[victim],
+            insert: false,
+        });
+        dead.push(victim);
+        // ...and resurrect a dead one (possibly the same) to keep the live
+        // count roughly constant.
+        let di = rng.random_range(0..dead.len());
+        let reborn = dead.swap_remove(di);
+        ops.push(DynamicOp {
+            point: base[reborn],
+            insert: true,
+        });
+        live.push(reborn);
+    }
+    ops
+}
+
+/// A sliding-window stream whose cluster centers drift: `n` arrivals from
+/// `k` clusters whose centers advance by `drift` per arrival, with an
+/// outlier (uniform far point) every `1/outlier_rate` arrivals on average.
+pub fn drifting_stream(
+    n: usize,
+    k: usize,
+    sigma: f64,
+    drift: f64,
+    outlier_rate: f64,
+    seed: u64,
+) -> Vec<[f64; 2]> {
+    assert!(k >= 1 && sigma > 0.0 && (0.0..1.0).contains(&outlier_rate));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centers: Vec<[f64; 2]> = (0..k)
+        .map(|i| [i as f64 * 40.0 * sigma, 0.0])
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        for c in centers.iter_mut() {
+            c[0] += drift;
+            c[1] += drift * 0.3;
+        }
+        if rng.random_bool(outlier_rate) {
+            out.push([
+                rng.random_range(-1e4 * sigma..1e4 * sigma),
+                1e4 * sigma + rng.random_range(0.0..1e4 * sigma),
+            ]);
+        } else {
+            let c = centers[t % k];
+            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let g0 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let g1 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).sin();
+            out.push([c[0] + sigma * g0, c[1] + sigma * g1]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let pts: Vec<u32> = (0..100).collect();
+        let s = shuffled(&pts, 3);
+        assert_ne!(s, pts);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, pts);
+        assert_eq!(s, shuffled(&pts, 3));
+    }
+
+    #[test]
+    fn churn_is_strict_turnstile() {
+        let base: Vec<[u64; 1]> = (0..50u64).map(|i| [i]).collect();
+        let ops = churn_schedule(&base, 200, 9);
+        let mut live: HashSet<[u64; 1]> = HashSet::new();
+        for op in &ops {
+            if op.insert {
+                assert!(live.insert(op.point), "double insert of {:?}", op.point);
+            } else {
+                assert!(live.remove(&op.point), "deleting absent {:?}", op.point);
+            }
+        }
+        assert_eq!(live.len(), 50, "churn preserves live count");
+    }
+
+    #[test]
+    fn drifting_stream_moves() {
+        let s = drifting_stream(500, 2, 1.0, 0.5, 0.0, 4);
+        assert_eq!(s.len(), 500);
+        // Late cluster points are far from early ones.
+        let early = s[0];
+        let late = s[498];
+        let d = ((early[0] - late[0]).powi(2) + (early[1] - late[1]).powi(2)).sqrt();
+        assert!(d > 50.0, "drift too small: {d}");
+    }
+
+    #[test]
+    fn outliers_appear_at_requested_rate() {
+        let s = drifting_stream(2000, 2, 1.0, 0.0, 0.1, 11);
+        let outliers = s.iter().filter(|p| p[1] > 1e3).count();
+        assert!((100..400).contains(&outliers), "outliers {outliers}");
+    }
+}

@@ -1,0 +1,68 @@
+//! MPC simulation: the same adversarially-distributed data set processed
+//! by all four MPC algorithms (2-round, randomized 1-round, R-round, and
+//! the Ceccarello-et-al.-style baseline), with the paper's resource
+//! metrics printed side by side.
+//!
+//! All planted outliers are dumped on a single machine — the adversarial
+//! distribution Algorithm 2 is designed to survive and Algorithm 6 is not.
+//!
+//! Run with: `cargo run --release --example mpc_cluster`
+
+use kcenter_outliers::kcenter::charikar::GreedyParams;
+use kcenter_outliers::prelude::*;
+
+fn main() {
+    let (k, z, eps) = (3usize, 24u64, 0.5f64);
+    let m = 8; // machines
+
+    let inst = gaussian_clusters::<2>(k, 400, 1.0, z as usize, 11);
+    let weighted = unit_weighted(&inst.points);
+    println!(
+        "input: {} points over {m} machines; all {} outliers on machine 0\n",
+        inst.points.len(),
+        z
+    );
+    let adversarial = concentrated_partition(&inst.points, &inst.outlier_flags, m);
+    let random = random_partition(&inst.points, m, 99);
+    let params = GreedyParams::default();
+
+    let full = greedy(&L2, &weighted, k, z);
+    println!("offline greedy on the full input: radius {:.3}\n", full.radius);
+
+    let mut rows: Vec<(String, MpcRunStats, f64)> = Vec::new();
+
+    let two = two_round(&L2, &adversarial, k, z, eps, &params);
+    rows.push(("2-round (Alg 2, adversarial)".into(), two.output.stats.clone(), solve(&two.output.coreset, k, z)));
+
+    let one = one_round_randomized(&L2, &random, k, z, eps, &params);
+    rows.push(("1-round (Alg 6, random)".into(), one.output.stats.clone(), solve(&one.output.coreset, k, z)));
+
+    for rounds in [2usize, 3] {
+        let rr = r_round(&L2, &adversarial, k, z, eps, rounds, &params);
+        rows.push((format!("{rounds}-round tree (Alg 7, adversarial)"), rr.stats.clone(), solve(&rr.coreset, k, z)));
+    }
+
+    let base = ceccarello_one_round(&L2, &adversarial, k, z, eps, &params);
+    rows.push(("CPP19 baseline (adversarial)".into(), base.stats.clone(), solve(&base.coreset, k, z)));
+
+    println!(
+        "{:<36} {:>7} {:>12} {:>12} {:>10} {:>9} {:>8}",
+        "algorithm", "rounds", "worker[w]", "coord[w]", "comm[w]", "|coreset|", "radius"
+    );
+    for (name, s, radius) in &rows {
+        println!(
+            "{:<36} {:>7} {:>12} {:>12} {:>10} {:>9} {:>8.3}",
+            name, s.rounds, s.worker_peak_words, s.coordinator_peak_words, s.comm_words, s.coreset_size, radius
+        );
+    }
+    println!(
+        "\n2-round diagnostics: r̂ = {:.3}, per-machine outlier budgets = {:?} (Σ ≤ 2z = {})",
+        two.rhat,
+        two.budgets,
+        2 * z
+    );
+}
+
+fn solve(coreset: &[Weighted<[f64; 2]>], k: usize, z: u64) -> f64 {
+    greedy(&L2, coreset, k, z).radius
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build an (ε,k,z)-coreset of a clustered data set with
+//! planted outliers, solve k-center-with-outliers on the coreset, and
+//! compare against solving on the full input.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kcenter_outliers::prelude::*;
+
+fn main() {
+    let (k, z, eps) = (4usize, 15u64, 0.5f64);
+
+    // 4 Gaussian clusters of 500 points each + 15 scattered outliers.
+    let inst = gaussian_clusters::<2>(k, 500, 1.0, z as usize, 7);
+    let weighted = unit_weighted(&inst.points);
+    println!(
+        "input: {} points ({} cluster points, {} outliers), planted radius {:.2}",
+        inst.points.len(),
+        inst.n_cluster_points,
+        inst.n_outliers,
+        inst.planted_radius
+    );
+
+    // Algorithm 1: MBCConstruction — the paper's offline coreset.
+    let t0 = std::time::Instant::now();
+    let mbc = mbc_construction(&L2, &weighted, k, z, eps);
+    println!(
+        "coreset: {} representatives ({}x compression) in {:.1?} — bound k(12/ε)^d + z = {}",
+        mbc.len(),
+        inst.points.len() / mbc.len().max(1),
+        t0.elapsed(),
+        kcenter_outliers::coreset::mbc_size_bound(k, z, eps, 2),
+    );
+    assert_eq!(total_weight(&mbc.reps), inst.points.len() as u64);
+
+    // Solve on the coreset vs. on the full input (3-approx greedy).
+    let t1 = std::time::Instant::now();
+    let small = greedy(&L2, &mbc.reps, k, z);
+    let t_small = t1.elapsed();
+    let t2 = std::time::Instant::now();
+    let full = greedy(&L2, &weighted, k, z);
+    let t_full = t2.elapsed();
+
+    println!(
+        "radius on coreset: {:.3} (in {t_small:.1?}), radius on input: {:.3} (in {t_full:.1?})",
+        small.radius, full.radius
+    );
+    println!(
+        "ratio {:.3} — the coreset answer is a (1±ε)-proxy (ε = {eps}), at a fraction of the cost",
+        small.radius / full.radius
+    );
+
+    // The covering property (Definition 2): every input point is within
+    // ε·opt of its representative.
+    let cr = covering_radius(&L2, &weighted, &mbc.reps).expect("non-empty coreset");
+    println!(
+        "covering radius {:.3} ≤ ε·greedy radius / 3 = {:.3}",
+        cr,
+        eps * mbc.greedy_radius / 3.0
+    );
+}

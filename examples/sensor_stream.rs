@@ -1,0 +1,103 @@
+//! Insertion-only streaming: monitoring a stream of sensor readings with
+//! occasional anomalies (the outliers), in the optimal `O(k/ε^d + z)`
+//! space of Algorithm 3.
+//!
+//! The stream mixes readings from 3 operating modes (clusters) with rare
+//! anomalous readings.  The structure maintains an (ε,k,z)-coreset at all
+//! times; every 10k readings we solve k-center-with-outliers on the
+//! coreset to locate the modes and count anomaly candidates, and we
+//! compare the structure's space against the baselines of Table 1.
+//!
+//! Run with: `cargo run --release --example sensor_stream`
+
+use kcenter_outliers::prelude::*;
+
+fn main() {
+    let (k, z, eps) = (3usize, 30u64, 0.5f64);
+    let n = 50_000usize;
+
+    // Sensor readings: 3 modes around (20,40), (60,10), (90,80), noise σ=2,
+    // anomaly rate ~ z/n.
+    let stream = make_stream(n, z as usize);
+
+    let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
+    let mut mk = mk_doubling(L2, k, z); // McCutchen–Khuller-style baseline
+    let mut cpp = ceccarello_stream(L2, k, z, eps); // CPP19-style baseline
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "readings", "ours[w]", "MK[w]", "CPP19[w]", "radius", "rebuilds"
+    );
+    for (t, p) in stream.iter().enumerate() {
+        alg.insert(*p);
+        mk.insert(*p);
+        cpp.insert(*p);
+        if (t + 1) % 10_000 == 0 {
+            let sol = greedy(&L2, alg.coreset(), k, z);
+            println!(
+                "{:>8} {:>10} {:>12} {:>12} {:>9.3} {:>9}",
+                t + 1,
+                alg.space_words(),
+                mk.space_words(),
+                cpp.space_words(),
+                sol.radius,
+                alg.rebuilds()
+            );
+        }
+    }
+
+    // Final report: modes found and anomaly candidates.
+    let sol = greedy(&L2, alg.coreset(), k, z);
+    let anomalies: u64 = alg
+        .coreset()
+        .iter()
+        .filter(|w| {
+            sol.centers
+                .iter()
+                .all(|c| L2.dist(&w.point, c) > sol.radius)
+        })
+        .map(|w| w.weight)
+        .sum();
+    println!("\nfinal modes (centers): {:?}", sol.centers);
+    println!(
+        "mode radius {:.2}; {} of {} readings flagged as anomaly candidates (budget z = {z})",
+        sol.radius,
+        anomalies,
+        alg.points_seen()
+    );
+    println!(
+        "peak space: ours {} words vs MK {} vs CPP19 {} (capacity bound k(16/ε)^d + z = {})",
+        alg.peak_words(),
+        mk.peak_words(),
+        cpp.peak_words(),
+        streaming_capacity(k, z, eps, 2)
+    );
+}
+
+fn make_stream(n: usize, z: usize) -> Vec<[f64; 2]> {
+    let modes = [[20.0, 40.0], [60.0, 10.0], [90.0, 80.0]];
+    let mut s = 0x5EED5EEDu64;
+    let mut unit = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut out = Vec::with_capacity(n);
+    let anomaly_every = n / z.max(1);
+    for t in 0..n {
+        if t % anomaly_every == anomaly_every - 1 {
+            // Anomaly: far outside every mode.
+            out.push([500.0 + unit() * 4000.0, -300.0 - unit() * 4000.0]);
+        } else {
+            let m = modes[t % 3];
+            // Box–Muller noise, σ = 2.
+            let g0 = (-2.0 * unit().max(1e-12).ln()).sqrt()
+                * (std::f64::consts::TAU * unit()).cos();
+            let g1 = (-2.0 * unit().max(1e-12).ln()).sqrt()
+                * (std::f64::consts::TAU * unit()).sin();
+            out.push([m[0] + 2.0 * g0, m[1] + 2.0 * g1]);
+        }
+    }
+    out
+}

@@ -1,0 +1,216 @@
+//! `kcz` — command-line front end for the k-center-with-outliers suite.
+//!
+//! Operates on 2-D points in CSV form (`x,y` or `x,y,weight` per line;
+//! lines starting with `#` are skipped).
+//!
+//! ```text
+//! kcz coreset --input pts.csv --k 3 --z 10 --eps 0.5 [--output core.csv]
+//! kcz solve   --input pts.csv --k 3 --z 10 [--eps 0.5]
+//! kcz stream  --input pts.csv --k 3 --z 10 --eps 0.5
+//! kcz mpc     --input pts.csv --k 3 --z 10 --eps 0.5 --machines 8 \
+//!             [--algorithm two_round|one_round|rround|baseline] [--rounds 3]
+//! ```
+//!
+//! `solve` runs the Charikar-et-al. greedy on an (ε,k,z)-coreset (or on
+//! the raw input when `--eps` is omitted) and prints centers + radius.
+
+use kcenter_outliers::kcenter::charikar::GreedyParams;
+use kcenter_outliers::prelude::*;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("kcz: error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  kcz coreset --input <csv> --k <K> --z <Z> --eps <EPS> [--output <csv>]
+  kcz solve   --input <csv> --k <K> --z <Z> [--eps <EPS>]
+  kcz stream  --input <csv> --k <K> --z <Z> --eps <EPS>
+  kcz mpc     --input <csv> --k <K> --z <Z> --eps <EPS> --machines <M>
+              [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    let input = flags
+        .get("input")
+        .ok_or("missing --input")?
+        .clone();
+    let points = read_csv(&input)?;
+    if points.is_empty() {
+        return Err(format!("no points in {input}"));
+    }
+    let k: usize = parse(&flags, "k")?;
+    let z: u64 = parse(&flags, "z")?;
+
+    match cmd.as_str() {
+        "coreset" => {
+            let eps: f64 = parse(&flags, "eps")?;
+            let t0 = std::time::Instant::now();
+            let mbc = mbc_construction(&L2, &points, k, z, eps);
+            eprintln!(
+                "coreset: {} -> {} representatives in {:.1?} (greedy radius {:.4})",
+                points.len(),
+                mbc.len(),
+                t0.elapsed(),
+                mbc.greedy_radius
+            );
+            let body = render_csv(&mbc.reps);
+            match flags.get("output") {
+                Some(path) => {
+                    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?
+                }
+                None => print!("{body}"),
+            }
+            Ok(())
+        }
+        "solve" => {
+            let summary: Vec<Weighted<[f64; 2]>> = match flags.get("eps") {
+                Some(_) => {
+                    let eps: f64 = parse(&flags, "eps")?;
+                    mbc_construction(&L2, &points, k, z, eps).reps
+                }
+                None => points.clone(),
+            };
+            let t0 = std::time::Instant::now();
+            let sol = greedy(&L2, &summary, k, z);
+            println!("radius: {:.6}", sol.radius);
+            println!("uncovered_weight: {}", sol.uncovered);
+            for c in &sol.centers {
+                println!("center: {},{}", c[0], c[1]);
+            }
+            eprintln!(
+                "(solved on {} points in {:.1?})",
+                summary.len(),
+                t0.elapsed()
+            );
+            Ok(())
+        }
+        "stream" => {
+            let eps: f64 = parse(&flags, "eps")?;
+            let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
+            for p in &points {
+                for _ in 0..p.weight {
+                    alg.insert(p.point);
+                }
+            }
+            let sol = greedy(&L2, alg.coreset(), k, z);
+            println!(
+                "points: {}  coreset: {}  peak_words: {}  rebuilds: {}  radius: {:.6}",
+                alg.points_seen(),
+                alg.coreset().len(),
+                alg.peak_words(),
+                alg.rebuilds(),
+                sol.radius
+            );
+            Ok(())
+        }
+        "mpc" => {
+            let eps: f64 = parse(&flags, "eps")?;
+            let m: usize = parse(&flags, "machines")?;
+            let raw: Vec<[f64; 2]> = points.iter().map(|p| p.point).collect();
+            let parts = round_robin(&raw, m);
+            let params = GreedyParams::default();
+            let default_alg = "two_round".to_string();
+            let alg = flags.get("algorithm").unwrap_or(&default_alg);
+            let out = match alg.as_str() {
+                "two_round" => two_round(&L2, &parts, k, z, eps, &params).output,
+                "one_round" => one_round_randomized(&L2, &parts, k, z, eps, &params).output,
+                "rround" => {
+                    let rounds: usize = parse(&flags, "rounds").unwrap_or(2);
+                    r_round(&L2, &parts, k, z, eps, rounds, &params)
+                }
+                "baseline" => ceccarello_one_round(&L2, &parts, k, z, eps, &params),
+                other => return Err(format!("unknown --algorithm {other}")),
+            };
+            let s = &out.stats;
+            println!(
+                "algorithm: {alg}  rounds: {}  machines: {}  worker_words: {}  \
+                 coordinator_words: {}  comm_words: {}  coreset: {}",
+                s.rounds,
+                s.machines,
+                s.worker_peak_words,
+                s.coordinator_peak_words,
+                s.comm_words,
+                s.coreset_size
+            );
+            let sol = greedy(&L2, &out.coreset, k, z);
+            println!("radius: {:.6}  effective_eps: {:.3}", sol.radius, out.effective_eps);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{a}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for --{name}"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> Result<T, String> {
+    let raw = flags.get(name).ok_or(format!("missing --{name}"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value `{raw}` for --{name}"))
+}
+
+fn read_csv(path: &str) -> Result<Vec<Weighted<[f64; 2]>>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let err = |what: &str| format!("{path}:{}: {what}: `{line}`", lineno + 1);
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(err("expected `x,y` or `x,y,weight`"));
+        }
+        let x: f64 = fields[0].parse().map_err(|_| err("bad x"))?;
+        let y: f64 = fields[1].parse().map_err(|_| err("bad y"))?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err(err("non-finite coordinate"));
+        }
+        let w: u64 = if fields.len() == 3 {
+            fields[2].parse().map_err(|_| err("bad weight"))?
+        } else {
+            1
+        };
+        if w == 0 {
+            return Err(err("zero weight"));
+        }
+        out.push(Weighted::new([x, y], w));
+    }
+    Ok(out)
+}
+
+fn render_csv(points: &[Weighted<[f64; 2]>]) -> String {
+    let mut s = String::with_capacity(points.len() * 24);
+    s.push_str("# x,y,weight\n");
+    for p in points {
+        let _ = writeln!(s, "{},{},{}", p.point[0], p.point[1], p.weight);
+    }
+    s
+}

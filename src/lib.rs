@@ -1,0 +1,79 @@
+//! # kcenter-outliers
+//!
+//! A Rust reproduction of **"k-Center Clustering with Outliers in the MPC
+//! and Streaming Model"** (Mark de Berg, Leyla Biabani, Morteza
+//! Monemizadeh; IPDPS 2023, arXiv:2302.12811).
+//!
+//! Given `n` points in a metric space of doubling dimension `d`, the
+//! k-center problem with `z` outliers asks for `k` congruent balls of
+//! minimum radius covering all but (weight) `z` of the points.  The paper
+//! shows how to maintain **(ε,k,z)-coresets** of size `O(k/ε^d + z)` — via
+//! *mini-ball coverings* — in the MPC model and in three streaming models,
+//! with matching lower bounds.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`metric`] | points, metrics ([`metric::L2`], [`metric::Linf`], grids), weighted sets, storage accounting |
+//! | [`kcenter`] | offline solvers: Charikar-et-al. greedy 3-approximation, Gonzalez, exact ground truth |
+//! | [`coreset`] | mini-ball coverings: `MBCConstruction` (Alg. 1), `UpdateCoreset` (Alg. 4), composition lemmas, validators |
+//! | [`mpc`] | MPC simulator + the 2-round (Alg. 2), randomized 1-round (Alg. 6), R-round (Alg. 7) algorithms and the CPP19 baseline |
+//! | [`streaming`] | insertion-only (Alg. 3), fully dynamic (Alg. 5), sliding-window structures and streaming baselines |
+//! | [`sketch`] | turnstile substrates: s-sparse recovery, F₀ estimation with deletions |
+//! | [`lowerbounds`] | the paper's lower-bound constructions as adversarial generators |
+//! | [`workloads`] | reproducible synthetic data, partitions, stream schedules |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kcenter_outliers::prelude::*;
+//!
+//! // Clustered data with planted outliers.
+//! let inst = gaussian_clusters::<2>(3, 200, 1.0, 10, 42);
+//! let weighted = unit_weighted(&inst.points);
+//!
+//! // A coreset several times smaller than the input...
+//! let mbc = mbc_construction(&L2, &weighted, 3, 10, 1.0);
+//! assert!(mbc.len() < inst.points.len() / 4);
+//!
+//! // ...on which any offline solver approximates the original optimum.
+//! let on_coreset = greedy(&L2, &mbc.reps, 3, 10);
+//! let on_input = greedy(&L2, &weighted, 3, 10);
+//! assert!(on_coreset.radius <= 3.0 * (1.0 + 1.0) * on_input.radius + 1e-9);
+//! ```
+
+pub use kcz_coreset as coreset;
+pub use kcz_kcenter as kcenter;
+pub use kcz_lowerbounds as lowerbounds;
+pub use kcz_metric as metric;
+pub use kcz_mpc as mpc;
+pub use kcz_sketch as sketch;
+pub use kcz_streaming as streaming;
+pub use kcz_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use kcz_coreset::validate::{covering_radius, validate_coreset};
+    pub use kcz_coreset::{
+        mbc_construction, streaming_capacity, update_coreset, MiniBallCovering,
+    };
+    pub use kcz_kcenter::{
+        cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,
+    };
+    pub use kcz_metric::{
+        total_weight, unit_weighted, GridL2, GridLinf, Line, Linf, MetricSpace, SpaceUsage,
+        Weighted, L2,
+    };
+    pub use kcz_mpc::{
+        ceccarello_one_round, one_round_randomized, r_round, two_round, MpcCoreset, MpcRunStats,
+    };
+    pub use kcz_streaming::{
+        baselines::{ceccarello_stream, mk_doubling},
+        DoublingCoreset, DynamicCoreset, InsertionOnlyCoreset, SlidingWindowCoreset,
+    };
+    pub use kcz_workloads::{
+        churn_schedule, concentrated_partition, drifting_stream, gaussian_clusters,
+        grid_clusters, random_partition, round_robin, shuffled, uniform_box,
+    };
+}

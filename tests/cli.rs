@@ -1,0 +1,132 @@
+//! End-to-end tests of the `kcz` command-line tool.
+
+use std::process::Command;
+
+fn kcz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kcz"))
+}
+
+fn write_points(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut body = String::from("# two clusters + one outlier\n");
+    for i in 0..20 {
+        body.push_str(&format!("{}.5,0.25\n", i % 4));
+        body.push_str(&format!("{}.5,100.0\n", i % 4));
+    }
+    body.push_str("5000,5000\n");
+    let path = dir.join("pts.csv");
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn solve_reports_radius_and_centers() {
+    let dir = std::env::temp_dir().join("kcz_cli_solve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_points(&dir);
+    let out = kcz()
+        .args(["solve", "--input", input.to_str().unwrap(), "--k", "2", "--z", "1"])
+        .output()
+        .expect("run kcz");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("radius:"), "{stdout}");
+    assert_eq!(stdout.matches("center:").count(), 2, "{stdout}");
+    // The outlier must be discardable: radius covers only the clusters.
+    let radius: f64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("radius: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(radius < 10.0, "radius {radius} should exclude the outlier");
+}
+
+#[test]
+fn coreset_roundtrips_through_csv() {
+    let dir = std::env::temp_dir().join("kcz_cli_coreset");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_points(&dir);
+    let output = dir.join("core.csv");
+    let st = kcz()
+        .args([
+            "coreset",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "1.0",
+            "--output",
+            output.to_str().unwrap(),
+        ])
+        .status()
+        .expect("run kcz");
+    assert!(st.success());
+    // The produced file is valid input again; total weight is preserved.
+    let out = kcz()
+        .args(["solve", "--input", output.to_str().unwrap(), "--k", "2", "--z", "1"])
+        .output()
+        .expect("run kcz on coreset");
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&output).unwrap();
+    let total: u64 = body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| l.rsplit(',').next().unwrap().trim().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, 41, "weight preservation through the CLI");
+}
+
+#[test]
+fn stream_and_mpc_subcommands_run() {
+    let dir = std::env::temp_dir().join("kcz_cli_misc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = write_points(&dir);
+    let out = kcz()
+        .args([
+            "stream", "--input", input.to_str().unwrap(), "--k", "2", "--z", "1", "--eps", "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("peak_words"));
+
+    for alg in ["two_round", "one_round", "rround", "baseline"] {
+        let out = kcz()
+            .args([
+                "mpc", "--input", input.to_str().unwrap(), "--k", "2", "--z", "1", "--eps",
+                "0.5", "--machines", "3", "--algorithm", alg,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{alg}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("coreset:"),
+            "{alg}"
+        );
+    }
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let dir = std::env::temp_dir().join("kcz_cli_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Unknown subcommand.
+    let out = kcz().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    // Malformed CSV.
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "1.0,nope\n").unwrap();
+    let out = kcz()
+        .args(["solve", "--input", bad.to_str().unwrap(), "--k", "1", "--z", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad y"));
+    // Missing flag.
+    let out = kcz().args(["solve", "--k", "1"]).output().unwrap();
+    assert!(!out.status.success());
+}

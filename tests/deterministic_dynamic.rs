@@ -1,0 +1,113 @@
+//! Integration tests for the deterministic extensions: the Vandermonde
+//! dynamic coreset against the randomized one, and the dynamic solver on
+//! the Theorem-28 adversary.
+
+use kcenter_outliers::lowerbounds::DynamicLb;
+use kcenter_outliers::prelude::*;
+use kcenter_outliers::streaming::{DeterministicDynamicCoreset, DynamicKCenter};
+use std::collections::HashSet;
+
+#[test]
+fn deterministic_and_randomized_recover_identical_coresets() {
+    let base = grid_clusters::<2>(10, 2, 30, 8, 5, 2);
+    let ops = churn_schedule(&base, 150, 9);
+    let mut det = DeterministicDynamicCoreset::<2>::new(10, 96);
+    let mut rnd = DynamicCoreset::<2>::new(10, 96, 0.001, 17);
+    for op in &ops {
+        if op.insert {
+            det.insert(&op.point);
+            rnd.insert(&op.point);
+        } else {
+            det.delete(&op.point);
+            rnd.delete(&op.point);
+        }
+    }
+    let (mut a, la) = det.coreset().expect("deterministic");
+    let (mut b, lb) = rnd.coreset().expect("randomized");
+    assert_eq!(la, lb, "both must pick the same grid level here");
+    let key = |w: &Weighted<[f64; 2]>| (w.point[0].to_bits(), w.point[1].to_bits());
+    a.sort_by_key(key);
+    b.sort_by_key(key);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.point, y.point);
+        assert_eq!(x.weight, y.weight);
+    }
+}
+
+#[test]
+fn deterministic_variant_survives_thm28_adversary() {
+    // The scale-deletion adversary of Theorem 28 against the
+    // deterministic sketch: every scale must decode exactly.
+    let lb = DynamicLb::new(4, 2, 0.25, 12);
+    let mut det = DeterministicDynamicCoreset::<2>::new(12, 64);
+    let mut live: HashSet<[u64; 2]> = HashSet::new();
+    for p in lb.all_points() {
+        det.insert(&p);
+        live.insert(p);
+    }
+    for m_star in (1..=lb.g).rev() {
+        for p in lb.deletion_schedule(m_star) {
+            if live.remove(&p) {
+                det.delete(&p);
+            }
+        }
+        let (coreset, _) = det.coreset().expect("deterministic recovery");
+        assert_eq!(total_weight(&coreset), live.len() as u64, "m* = {m_star}");
+    }
+}
+
+#[test]
+fn dynamic_solver_radius_collapses_with_deletions() {
+    let (k, z) = (2usize, 2u64);
+    let mut solver = DynamicKCenter::<2>::new(10, k, z, 1.0, 0.01, 21);
+    // Two clusters far apart plus two outliers.
+    let mut cluster_b = Vec::new();
+    for i in 0..20u64 {
+        solver.insert(&[i % 5, 10 + i % 5]);
+        let p = [800 + i % 5, 900 + i % 5];
+        if !cluster_b.contains(&p) {
+            solver.insert(&p);
+            cluster_b.push(p);
+        }
+    }
+    solver.insert(&[400, 0]);
+    solver.insert(&[0, 400]);
+    let with_both = solver.solve().expect("solve");
+    // Remove cluster B entirely: k = 2 centers now over-serve; radius
+    // must not grow, and typically collapses toward the cell radius.
+    for p in &cluster_b {
+        solver.delete(p);
+    }
+    let with_one = solver.solve().expect("solve");
+    assert!(
+        with_one.radius <= with_both.radius + 1e-9,
+        "radius grew after deleting a cluster: {} -> {}",
+        with_both.radius,
+        with_one.radius
+    );
+}
+
+#[test]
+fn deterministic_sketch_is_seedless_and_stable() {
+    // Two sketches built in different orders over the same multiset give
+    // identical syndromes (linearity) and identical answers.
+    let pts: Vec<[u64; 2]> = (0..40).map(|i| [(i * 13) % 64, (i * 29) % 64]).collect();
+    let mut fwd = DeterministicDynamicCoreset::<2>::new(6, 64);
+    let mut rev = DeterministicDynamicCoreset::<2>::new(6, 64);
+    for p in &pts {
+        fwd.insert(p);
+    }
+    for p in pts.iter().rev() {
+        rev.insert(p);
+    }
+    let (mut a, _) = fwd.coreset().unwrap();
+    let (mut b, _) = rev.coreset().unwrap();
+    let key = |w: &Weighted<[f64; 2]>| (w.point[0].to_bits(), w.point[1].to_bits());
+    a.sort_by_key(key);
+    b.sort_by_key(key);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!((x.point, x.weight), (y.point, y.weight));
+    }
+}

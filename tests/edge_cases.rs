@@ -1,0 +1,179 @@
+//! Cross-crate edge cases and failure injection that unit tests don't
+//! reach: degenerate geometry, extreme parameters, weighted pipelines,
+//! higher dimensions.
+
+use kcenter_outliers::prelude::*;
+
+#[test]
+fn all_points_identical() {
+    let pts = vec![[3.0, 3.0]; 50];
+    let weighted = unit_weighted(&pts);
+    // Offline: one rep carrying all the weight, radius 0.
+    let mbc = mbc_construction(&L2, &weighted, 2, 3, 0.5);
+    assert_eq!(mbc.len(), 1);
+    assert_eq!(mbc.total_weight(), 50);
+    assert_eq!(greedy(&L2, &mbc.reps, 2, 3).radius, 0.0);
+    // Streaming: duplicates merge even while r = 0.
+    let mut alg = InsertionOnlyCoreset::new(L2, 2, 3, 0.5);
+    for p in &pts {
+        alg.insert(*p);
+    }
+    assert_eq!(alg.coreset().len(), 1);
+    assert_eq!(total_weight(alg.coreset()), 50);
+}
+
+#[test]
+fn collinear_points_one_dim_structure() {
+    // Degenerate geometry in R²: all points on a line.  (k kept small —
+    // the validator's exact solver enumerates C(n, k) center subsets.)
+    let pts: Vec<[f64; 2]> = (0..100).map(|i| [i as f64, 0.0]).collect();
+    let weighted = unit_weighted(&pts);
+    let mbc = mbc_construction(&L2, &weighted, 2, 3, 1.0);
+    let report = validate_coreset(&L2, &weighted, &mbc.reps, 2, 3, 1.0);
+    assert!(report.condition1 && report.condition2 && report.weight_preserved);
+}
+
+#[test]
+fn three_dimensional_pipeline() {
+    let inst = gaussian_clusters::<3>(2, 60, 1.0, 4, 9);
+    let weighted = unit_weighted(&inst.points);
+    let mbc = mbc_construction(&L2, &weighted, 2, 4, 1.0);
+    assert_eq!(mbc.total_weight(), inst.points.len() as u64);
+    // d = 3 capacity bound applies.
+    let bound = kcenter_outliers::coreset::mbc_size_bound(2, 4, 1.0, 3);
+    assert!((mbc.len() as u64) <= bound);
+    // Streaming in 3-D.
+    let mut alg = InsertionOnlyCoreset::new(L2, 2, 4, 1.0);
+    for p in &inst.points {
+        alg.insert(*p);
+    }
+    assert_eq!(total_weight(alg.coreset()), inst.points.len() as u64);
+    let r_stream = greedy(&L2, alg.coreset(), 2, 4).radius;
+    let r_direct = greedy(&L2, &weighted, 2, 4).radius;
+    assert!(r_stream <= 3.0 * 2.0 * r_direct + 1e-9);
+}
+
+#[test]
+fn linf_metric_pipeline() {
+    // The sliding-window lower bound lives in L∞; the upper-bound
+    // machinery must run there too.
+    let inst = gaussian_clusters::<2>(2, 50, 1.0, 3, 13);
+    let weighted = unit_weighted(&inst.points);
+    let mbc = mbc_construction(&Linf, &weighted, 2, 3, 0.5);
+    let report = validate_coreset(&Linf, &weighted, &mbc.reps, 2, 3, 0.5);
+    assert!(report.condition1 && report.condition2, "{report:?}");
+}
+
+#[test]
+fn z_larger_than_n() {
+    let pts = vec![[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]];
+    let weighted = unit_weighted(&pts);
+    // Everything fits in the outlier budget: radius 0, empty centers.
+    let sol = greedy(&L2, &weighted, 2, 10);
+    assert_eq!(sol.radius, 0.0);
+    assert!(sol.centers.is_empty());
+    let mbc = mbc_construction(&L2, &weighted, 2, 10, 0.5);
+    assert_eq!(mbc.greedy_radius, 0.0);
+    assert_eq!(mbc.total_weight(), 3);
+}
+
+#[test]
+fn k_one_single_cluster() {
+    let inst = gaussian_clusters::<2>(1, 100, 1.0, 5, 3);
+    let weighted = unit_weighted(&inst.points);
+    let mbc = mbc_construction(&L2, &weighted, 1, 5, 0.5);
+    let report = validate_coreset(&L2, &weighted, &mbc.reps, 1, 5, 0.5);
+    assert!(report.condition1 && report.condition2, "{report:?}");
+}
+
+#[test]
+fn weighted_input_pipeline_end_to_end() {
+    // Weighted points through offline + MPC + streaming paths.
+    let mut weighted: Vec<Weighted<[f64; 2]>> = Vec::new();
+    for i in 0..30 {
+        weighted.push(Weighted::new([i as f64 % 5.0, 0.0], 1 + i % 4));
+        weighted.push(Weighted::new([100.0 + i as f64 % 5.0, 7.0], 2));
+    }
+    weighted.push(Weighted::new([5000.0, 5000.0], 3));
+    let total = total_weight(&weighted);
+    let (k, z) = (2usize, 3u64);
+
+    let mbc = mbc_construction(&L2, &weighted, k, z, 0.5);
+    assert_eq!(mbc.total_weight(), total);
+    let report = validate_coreset(&L2, &weighted, &mbc.reps, k, z, 0.5);
+    assert!(report.condition1 && report.condition2, "{report:?}");
+
+    // Weighted streaming arrivals.
+    let mut alg = InsertionOnlyCoreset::new(L2, k, z, 0.5);
+    for w in &weighted {
+        alg.insert_weighted(w.point, w.weight);
+    }
+    assert_eq!(total_weight(alg.coreset()), total);
+}
+
+#[test]
+fn dynamic_sketch_negative_frequency_detected() {
+    use kcenter_outliers::streaming::dynamic::DynamicCoresetError;
+    let mut sketch = DynamicCoreset::<2>::new(8, 16, 0.01, 3);
+    sketch.insert(&[10, 10]);
+    // Violate the strict turnstile promise.
+    sketch.delete(&[20, 20]);
+    sketch.delete(&[20, 20]);
+    match sketch.coreset() {
+        Err(DynamicCoresetError::NegativeFrequency { .. }) => {}
+        other => panic!("expected negative-frequency detection, got {other:?}"),
+    }
+}
+
+#[test]
+fn extreme_coordinates_stay_finite() {
+    let pts = vec![
+        [1e12, -1e12],
+        [1e12 + 1.0, -1e12],
+        [-1e12, 1e12],
+        [-1e12, 1e12 + 1.0],
+        [0.0, 0.0],
+    ];
+    let weighted = unit_weighted(&pts);
+    let sol = greedy(&L2, &weighted, 2, 1);
+    assert!(sol.radius.is_finite());
+    let mbc = mbc_construction(&L2, &weighted, 2, 1, 1.0);
+    assert!(mbc.greedy_radius.is_finite());
+    assert_eq!(mbc.total_weight(), 5);
+}
+
+#[test]
+fn mpc_with_more_machines_than_points() {
+    use kcenter_outliers::kcenter::charikar::GreedyParams;
+    let pts = vec![[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]];
+    let parts = round_robin(&pts, 10); // 7 empty machines
+    let res = two_round(&L2, &parts, 1, 1, 0.5, &GreedyParams::default());
+    assert_eq!(total_weight(&res.output.coreset), 3);
+    assert_eq!(res.output.stats.machines, 10);
+}
+
+#[test]
+fn sliding_window_of_length_one() {
+    let mut alg = SlidingWindowCoreset::new(L2, 1, 0, 1.0, 1, 0.5, 100.0);
+    alg.insert([0.0, 0.0]);
+    alg.insert([50.0, 50.0]);
+    let q = alg.query().expect("non-empty");
+    assert_eq!(q.coreset.len(), 1);
+    assert_eq!(q.coreset[0].point, [50.0, 50.0]);
+}
+
+#[test]
+fn deterministic_mpc_runs_are_bit_reproducible() {
+    use kcenter_outliers::kcenter::charikar::GreedyParams;
+    let inst = gaussian_clusters::<2>(2, 80, 1.0, 6, 77);
+    let parts = concentrated_partition(&inst.points, &inst.outlier_flags, 4);
+    let a = two_round(&L2, &parts, 2, 6, 0.5, &GreedyParams::default());
+    let b = two_round(&L2, &parts, 2, 6, 0.5, &GreedyParams::default());
+    assert_eq!(a.rhat, b.rhat);
+    assert_eq!(a.budgets, b.budgets);
+    assert_eq!(a.output.coreset.len(), b.output.coreset.len());
+    for (x, y) in a.output.coreset.iter().zip(&b.output.coreset) {
+        assert_eq!(x.point, y.point);
+        assert_eq!(x.weight, y.weight);
+    }
+}

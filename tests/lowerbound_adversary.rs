@@ -1,0 +1,206 @@
+//! The paper's lower-bound constructions driven against the actual
+//! algorithms: the predicted minimum storage must materialise.
+
+use kcenter_outliers::lowerbounds::{line_lb, DynamicLb, InsertionLb, SlidingLb};
+use kcenter_outliers::prelude::*;
+use std::collections::HashSet;
+
+#[test]
+fn lemma12_forces_cluster_retention_in_streaming_coreset() {
+    // Feed the Ω(k/ε^d) construction to Algorithm 3 with matching ε: the
+    // clusters are `ε-incompressible`, so the coreset must retain every
+    // cluster point individually (no two cluster points may merge).
+    let lb = InsertionLb::<2>::new(6, 3, 1.0 / 16.0);
+    let mut alg = InsertionOnlyCoreset::new(L2, lb.k, lb.z as u64, lb.eps);
+    for p in &lb.points {
+        alg.insert(*p);
+    }
+    let stored: HashSet<[u64; 2]> = alg
+        .coreset()
+        .iter()
+        .map(|w| [w.point[0].to_bits(), w.point[1].to_bits()])
+        .collect();
+    let mut missing = 0usize;
+    for p in &lb.points[..lb.n_cluster_points()] {
+        if !stored.contains(&[p[0].to_bits(), p[1].to_bits()]) {
+            missing += 1;
+        }
+    }
+    assert_eq!(
+        missing, 0,
+        "streaming coreset dropped {missing} of {} cluster points",
+        lb.n_cluster_points()
+    );
+    assert!(
+        alg.coreset().len() >= lb.n_cluster_points(),
+        "coreset below the Ω(k/ε^d) bound"
+    );
+}
+
+#[test]
+fn lemma12_probe_breaks_any_smaller_summary() {
+    // Validate the adversary exactly as in the proof of Theorem 11: drop
+    // one cluster point p* from an otherwise perfect summary, insert the
+    // probes P± = p* ± (h+r)·e_j, and compare optima.  The summary can be
+    // clustered at radius ≤ r using centers p* ± h·e_j (Claim 14), while
+    // the true optimum is ≥ (h+r)/2 (Claim 13) and r < (1−ε)(h+r)/2
+    // (Lemma 41) — so any algorithm reporting from the summary
+    // underestimates the radius beyond the allowed (1−ε) factor.
+    let lb = InsertionLb::<2>::new(4, 1, 1.0 / 8.0);
+    let p_star = lb.points[lb.cluster_size / 2];
+    let probes = lb.probes(&p_star);
+
+    let mut full = unit_weighted(&lb.points);
+    for pr in &probes {
+        full.push(Weighted::new(*pr, 2));
+    }
+    // The cheating summary: everything except p*.
+    let cheat: Vec<Weighted<[f64; 2]>> = full
+        .iter()
+        .filter(|w| w.point != p_star)
+        .cloned()
+        .collect();
+    // Candidate centers: all points, plus the proof's special centers
+    // p* ± h·e_j that exploit the missing p*.
+    let mut cand: Vec<[f64; 2]> = full.iter().map(|w| w.point).collect();
+    for j in 0..2 {
+        let mut c = p_star;
+        c[j] += lb.h;
+        cand.push(c);
+        let mut c = p_star;
+        c[j] -= lb.h;
+        cand.push(c);
+    }
+    let opt_full = exact_discrete(&L2, &full, lb.k, lb.z as u64, &cand).radius;
+    let opt_cheat = exact_discrete(&L2, &cheat, lb.k, lb.z as u64, &cand).radius;
+    assert!(
+        opt_full >= (lb.h + lb.r) / 2.0 - 1e-9,
+        "Claim 13 violated: {opt_full} < {}",
+        (lb.h + lb.r) / 2.0
+    );
+    assert!(
+        opt_cheat <= lb.r + 1e-9,
+        "Claim 14 violated: {opt_cheat} > {}",
+        lb.r
+    );
+    assert!(
+        (1.0 - lb.eps) * opt_full > opt_cheat + 1e-9,
+        "the probe failed to separate full ({opt_full}) from cheat ({opt_cheat})"
+    );
+}
+
+#[test]
+fn lemma15_all_points_stored_and_probe_shifts_radius() {
+    let (pts, probe) = line_lb(3, 4);
+    let mut alg = InsertionOnlyCoreset::new(Line, 3, 4, 0.9);
+    for p in &pts {
+        alg.insert(*p);
+    }
+    // k+z distinct unit-spaced points: the structure must store them all
+    // (r is still 0 — no compression is safe yet).
+    assert_eq!(alg.coreset().len(), pts.len());
+    assert_eq!(alg.radius_bound(), 0.0);
+    // Probe arrives: now k+z+1 points, radius becomes positive and the
+    // structure's r stays a valid lower bound.
+    alg.insert(probe);
+    let weighted: Vec<Weighted<f64>> = pts
+        .iter()
+        .chain(std::iter::once(&probe))
+        .map(|p| Weighted::unit(*p))
+        .collect();
+    let mut cand: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+    cand.extend((1..8).map(|i| i as f64 + 0.5));
+    let opt = exact_discrete(&Line, &weighted, 3, 4, &cand).radius;
+    assert!((opt - 0.5).abs() < 1e-9);
+    assert!(alg.radius_bound() <= opt + 1e-9);
+    assert!(alg.radius_bound() > 0.0);
+}
+
+#[test]
+fn thm28_deletions_expose_every_scale() {
+    // Insert the full construction, then delete down to each scale m* and
+    // verify the dynamic sketch still answers with a correct summary of
+    // the survivors — the algorithm cannot "pre-forget" any scale.
+    let lb = DynamicLb::new(4, 2, 0.25, 14);
+    let mut sketch = DynamicCoreset::<2>::new(14, 128, 0.01, 3);
+    let mut live: HashSet<[u64; 2]> = HashSet::new();
+    for p in lb.all_points() {
+        sketch.insert(&p);
+        live.insert(p);
+    }
+    for m_star in (1..=lb.g).rev() {
+        let dels = lb.deletion_schedule(m_star);
+        for p in &dels {
+            if live.remove(p) {
+                sketch.delete(p);
+            }
+        }
+        let (coreset, _) = sketch.coreset().expect("recovery at scale {m_star}");
+        assert_eq!(
+            total_weight(&coreset),
+            live.len() as u64,
+            "m*={m_star}: sketch lost weight"
+        );
+    }
+    // After deleting everything down to scale 1, only outliers remain.
+    assert_eq!(live.len(), lb.z);
+}
+
+#[test]
+fn thm30_storage_scales_with_levels() {
+    // Feed the sliding-window construction (all alive in one window) and
+    // confirm the structure's storage grows with the number of scale
+    // levels g — the log σ factor of the lower bound.
+    let mut previous = 0usize;
+    for g in [1usize, 2, 3] {
+        let lb = SlidingLb::new(5, 3, 1.0 / 24.0, g);
+        let mut alg = SlidingWindowCoreset::new(
+            L2,
+            lb.k,
+            lb.z as u64,
+            1.0 / 24.0,
+            lb.window_hint(),
+            0.5,
+            1e5,
+        );
+        for p in &lb.arrivals {
+            alg.insert(*p);
+        }
+        let stored = alg.stored_points();
+        assert!(
+            stored > previous,
+            "g={g}: stored {stored} did not grow past {previous}"
+        );
+        previous = stored;
+    }
+}
+
+#[test]
+fn thm30_subgroup_points_all_retained_for_outlier_budget() {
+    // Each subgroup has exactly z+1 points; since any z of them could be
+    // declared outliers, the window structure must keep all z+1 (clamped
+    // counting).  Check the finest-group subgroups survive in the query.
+    let lb = SlidingLb::new(4, 3, 1.0 / 24.0, 2);
+    let mut alg = SlidingWindowCoreset::new(
+        L2,
+        lb.k,
+        lb.z as u64,
+        1.0 / 24.0,
+        lb.window_hint(),
+        0.5,
+        1e5,
+    );
+    for p in &lb.arrivals {
+        alg.insert(*p);
+    }
+    let q = alg.query().expect("window non-empty");
+    // The last-arriving subgroup is the freshest; all its z+1 points must
+    // be present in the coreset.
+    let tail = &lb.arrivals[lb.arrivals.len() - lb.subgroup_size..];
+    for p in tail {
+        assert!(
+            q.coreset.iter().any(|w| w.point == *p),
+            "fresh subgroup point {p:?} missing from window coreset"
+        );
+    }
+}

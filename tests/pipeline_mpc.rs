@@ -1,0 +1,115 @@
+//! End-to-end MPC pipelines: workload → partition → algorithm →
+//! Definition-1 validation, for all four MPC algorithms, on both random
+//! and adversarial distributions.
+
+use kcenter_outliers::kcenter::charikar::GreedyParams;
+use kcenter_outliers::prelude::*;
+
+fn instance() -> (Vec<[f64; 2]>, Vec<bool>, usize, u64) {
+    // Kept small: the Definition-1 validators call the exact solver, which
+    // enumerates C(n, k) center subsets.
+    let inst = gaussian_clusters::<2>(2, 25, 1.0, 4, 21);
+    (inst.points, inst.outlier_flags, 2, 4)
+}
+
+#[test]
+fn two_round_valid_on_adversarial_partition() {
+    let (pts, flags, k, z) = instance();
+    let parts = concentrated_partition(&pts, &flags, 5);
+    let res = two_round(&L2, &parts, k, z, 0.4, &GreedyParams::default());
+    let weighted = unit_weighted(&pts);
+    let report = validate_coreset(&L2, &weighted, &res.output.coreset, k, z, res.output.effective_eps);
+    assert!(report.condition1 && report.condition2 && report.weight_preserved, "{report:?}");
+    assert!(res.budgets.iter().sum::<u64>() <= 2 * z);
+}
+
+#[test]
+fn one_round_valid_on_random_partition() {
+    let (pts, _, k, z) = instance();
+    let parts = random_partition(&pts, 5, 17);
+    let res = one_round_randomized(&L2, &parts, k, z, 0.4, &GreedyParams::default());
+    let weighted = unit_weighted(&pts);
+    let report = validate_coreset(&L2, &weighted, &res.output.coreset, k, z, res.output.effective_eps);
+    assert!(report.condition1 && report.condition2 && report.weight_preserved, "{report:?}");
+}
+
+#[test]
+fn r_round_error_grows_with_rounds_but_stays_valid() {
+    let (pts, flags, k, z) = instance();
+    let parts = concentrated_partition(&pts, &flags, 8);
+    let weighted = unit_weighted(&pts);
+    let eps = 0.2;
+    for rounds in [1usize, 2, 3] {
+        let res = r_round(&L2, &parts, k, z, eps, rounds, &GreedyParams::default());
+        let expect = (1.0 + eps).powi(rounds as i32) - 1.0;
+        assert!((res.effective_eps - expect).abs() < 1e-12);
+        let report = validate_coreset(&L2, &weighted, &res.coreset, k, z, res.effective_eps);
+        assert!(
+            report.condition1 && report.condition2 && report.weight_preserved,
+            "rounds={rounds}: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn baseline_valid_but_heavier_on_coordinator() {
+    let (pts, flags, k, z) = instance();
+    let parts = concentrated_partition(&pts, &flags, 5);
+    let weighted = unit_weighted(&pts);
+    let base = ceccarello_one_round(&L2, &parts, k, z, 0.4, &GreedyParams::default());
+    let report = validate_coreset(&L2, &weighted, &base.coreset, k, z, base.effective_eps);
+    assert!(report.condition1 && report.condition2 && report.weight_preserved, "{report:?}");
+}
+
+#[test]
+fn all_algorithms_agree_on_the_answer() {
+    // Cross-model agreement: solving on any of the four coresets gives
+    // radii within each algorithm's (1+ε_eff) band of the direct answer.
+    let (pts, flags, k, z) = instance();
+    let weighted = unit_weighted(&pts);
+    let direct = greedy(&L2, &weighted, k, z).radius;
+    let params = GreedyParams::default();
+    let eps = 0.3;
+
+    let adv = concentrated_partition(&pts, &flags, 4);
+    let rnd = random_partition(&pts, 4, 3);
+
+    let candidates = [
+        ("two_round", two_round(&L2, &adv, k, z, eps, &params).output),
+        ("one_round", one_round_randomized(&L2, &rnd, k, z, eps, &params).output),
+        ("r_round", r_round(&L2, &adv, k, z, eps, 2, &params)),
+        ("baseline", ceccarello_one_round(&L2, &adv, k, z, eps, &params)),
+    ];
+    for (name, out) in candidates {
+        let r = greedy(&L2, &out.coreset, k, z).radius;
+        // Both radii are 3-approximations of nearby quantities; a generous
+        // shared band keeps this robust while catching gross errors.
+        assert!(
+            r <= 3.2 * (1.0 + out.effective_eps) * direct + 1e-9 && 3.2 * r >= direct * (1.0 - out.effective_eps) - 1e-9,
+            "{name}: coreset radius {r} vs direct {direct}"
+        );
+    }
+}
+
+#[test]
+fn machine_counts_scale_worker_memory_down() {
+    // More machines → less raw input per worker.  (Coordinator cost grows
+    // with m; that trade-off is the Table-1 story.)
+    let inst = gaussian_clusters::<2>(2, 150, 1.0, 6, 9);
+    let weighted_n = inst.points.len();
+    let params = GreedyParams::default();
+    let mut prev_worker = usize::MAX;
+    for m in [2usize, 6, 12] {
+        let parts = round_robin(&inst.points, m);
+        let res = two_round(&L2, &parts, 2, 6, 0.5, &params);
+        let s = res.output.stats;
+        assert_eq!(s.machines, m);
+        assert!(
+            s.worker_peak_words <= prev_worker,
+            "worker memory did not shrink: m={m}, {} > {prev_worker}",
+            s.worker_peak_words
+        );
+        prev_worker = s.worker_peak_words;
+        assert_eq!(total_weight(&res.output.coreset), weighted_n as u64);
+    }
+}

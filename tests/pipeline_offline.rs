@@ -1,0 +1,111 @@
+//! End-to-end offline pipeline: workload → MBCConstruction → Definition-1
+//! validation against exact ground truth, plus the composition lemmas
+//! across data splits.
+
+use kcenter_outliers::coreset::compose::{composed_eps, recompress, union_coverings};
+use kcenter_outliers::coreset::mbc_size_bound;
+use kcenter_outliers::prelude::*;
+
+fn small_instance(seed: u64) -> (Vec<[f64; 2]>, usize, u64) {
+    let inst = gaussian_clusters::<2>(2, 30, 1.0, 4, seed);
+    (inst.points, 2, 4)
+}
+
+#[test]
+fn mbc_is_valid_coreset_across_eps() {
+    let (pts, k, z) = small_instance(1);
+    let weighted = unit_weighted(&pts);
+    for eps in [0.25, 0.5, 1.0] {
+        let mbc = mbc_construction(&L2, &weighted, k, z, eps);
+        let report = validate_coreset(&L2, &weighted, &mbc.reps, k, z, eps);
+        assert!(
+            report.condition1 && report.condition2 && report.weight_preserved,
+            "eps={eps}: {report:?}"
+        );
+        assert!(
+            (mbc.len() as u64) <= mbc_size_bound(k, z, eps, 2),
+            "eps={eps}: size {} > Lemma 7 bound",
+            mbc.len()
+        );
+    }
+}
+
+#[test]
+fn lemma7_size_shrinks_with_eps_growth() {
+    let inst = gaussian_clusters::<2>(3, 300, 1.0, 10, 3);
+    let weighted = unit_weighted(&inst.points);
+    let sizes: Vec<usize> = [0.25, 0.5, 1.0]
+        .iter()
+        .map(|&eps| mbc_construction(&L2, &weighted, 3, 10, eps).len())
+        .collect();
+    assert!(
+        sizes[0] >= sizes[1] && sizes[1] >= sizes[2],
+        "sizes not monotone in ε: {sizes:?}"
+    );
+    assert!(sizes[2] < inst.points.len() / 4, "no compression: {sizes:?}");
+}
+
+#[test]
+fn union_lemma_over_split_data() {
+    // Split P into halves; per-part coverings with the full budget z and
+    // per-part opt ≤ global opt (subsets) satisfy Lemma 4's premise.
+    let (pts, k, z) = small_instance(5);
+    let weighted = unit_weighted(&pts);
+    let (a, b) = weighted.split_at(weighted.len() / 2);
+    let ca = mbc_construction(&L2, a, k, z, 0.4);
+    let cb = mbc_construction(&L2, b, k, z, 0.4);
+    let union = union_coverings([ca.reps, cb.reps]);
+    let report = validate_coreset(&L2, &weighted, &union, k, z, 0.4);
+    assert!(
+        report.condition1 && report.condition2 && report.weight_preserved,
+        "{report:?}"
+    );
+}
+
+#[test]
+fn transitive_lemma_recompression() {
+    let (pts, k, z) = small_instance(7);
+    let weighted = unit_weighted(&pts);
+    let first = mbc_construction(&L2, &weighted, k, z, 0.3);
+    let second = recompress(&L2, &first.reps, k, z, 0.3);
+    let eps_eff = composed_eps(0.3, 0.3);
+    let report = validate_coreset(&L2, &weighted, &second.reps, k, z, eps_eff);
+    assert!(
+        report.condition1 && report.condition2 && report.weight_preserved,
+        "{report:?}"
+    );
+    assert!(second.len() <= first.len());
+}
+
+#[test]
+fn planted_outliers_are_the_solver_outliers() {
+    // With budget exactly z, the greedy solution's uncovered points must
+    // be (a subset of) the planted outliers.
+    let inst = gaussian_clusters::<2>(3, 100, 1.0, 6, 11);
+    let weighted = unit_weighted(&inst.points);
+    let sol = greedy(&L2, &weighted, 3, 6);
+    assert!(sol.radius < 15.0, "solution radius {} too large", sol.radius);
+    for (p, &is_outlier) in inst.points.iter().zip(&inst.outlier_flags) {
+        let covered = sol.centers.iter().any(|c| L2.dist(p, c) <= sol.radius);
+        if !covered {
+            assert!(is_outlier, "non-outlier {p:?} left uncovered");
+        }
+    }
+}
+
+#[test]
+fn coreset_solution_transfers_back_to_input() {
+    // Definition 1(2) in action: solve on the coreset, expand by ε·opt,
+    // check coverage on the input.
+    let inst = gaussian_clusters::<2>(3, 200, 1.0, 8, 13);
+    let weighted = unit_weighted(&inst.points);
+    let eps = 0.5;
+    let mbc = mbc_construction(&L2, &weighted, 3, 8, eps);
+    let sol = greedy(&L2, &mbc.reps, 3, 8);
+    let opt_upper = sol.radius; // ≥ opt(P*) ≥ (1−ε)opt(P)
+    let expanded = sol.radius + eps * opt_upper / (1.0 - eps);
+    assert!(
+        uncovered_weight(&L2, &weighted, &sol.centers, expanded) <= 8,
+        "expanded balls leave too much weight uncovered"
+    );
+}

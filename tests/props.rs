@@ -1,0 +1,124 @@
+//! Property-based tests across crates: randomized instances against the
+//! paper's invariants, with exact ground truth where feasible.
+
+use kcenter_outliers::prelude::*;
+use proptest::prelude::*;
+
+/// Small random weighted point sets in [0, 100]².
+fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Weighted<[f64; 2]>>> {
+    prop::collection::vec(
+        ((0.0f64..100.0), (0.0f64..100.0), 1u64..4),
+        2..max_n,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, w)| Weighted::new([x, y], w))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn greedy_within_three_of_exact(pts in arb_points(14), k in 1usize..3, z in 0u64..4) {
+        let cand: Vec<[f64; 2]> = pts.iter().map(|p| p.point).collect();
+        let exact = exact_discrete(&L2, &pts, k, z, &cand);
+        let apx = greedy(&L2, &pts, k, z);
+        prop_assert!(apx.radius <= 3.0 * exact.radius + 1e-9,
+            "greedy {} vs exact {}", apx.radius, exact.radius);
+        prop_assert!(apx.radius >= exact.radius - 1e-9);
+    }
+
+    #[test]
+    fn mbc_definition1_holds(pts in arb_points(12), k in 1usize..3, z in 0u64..3) {
+        let eps = 0.5;
+        let mbc = mbc_construction(&L2, &pts, k, z, eps);
+        let report = validate_coreset(&L2, &pts, &mbc.reps, k, z, eps);
+        prop_assert!(report.weight_preserved, "{report:?}");
+        prop_assert!(report.condition1, "{report:?}");
+        prop_assert!(report.condition2, "{report:?}");
+    }
+
+    #[test]
+    fn mbc_size_within_lemma7(pts in arb_points(30), k in 1usize..4, z in 0u64..5) {
+        for eps in [0.5f64, 1.0] {
+            let mbc = mbc_construction(&L2, &pts, k, z, eps);
+            let bound = kcenter_outliers::coreset::mbc_size_bound(k, z, eps, 2);
+            prop_assert!((mbc.len() as u64) <= bound,
+                "eps={eps}: {} > {}", mbc.len(), bound);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_weight_and_covering(raw in prop::collection::vec(((0.0f64..100.0), (0.0f64..100.0)), 3..40)) {
+        let pts: Vec<[f64; 2]> = raw.into_iter().map(|(x, y)| [x, y]).collect();
+        let (k, z, eps) = (2usize, 2u64, 0.8f64);
+        let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
+        for p in &pts {
+            alg.insert(*p);
+        }
+        prop_assert_eq!(total_weight(alg.coreset()), pts.len() as u64);
+        let bound = alg.drift_bound() + 1e-12;
+        for p in &pts {
+            let d = alg.coreset().iter()
+                .map(|r| L2.dist(p, &r.point))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(d <= bound, "point {:?} at {} > {}", p, d, bound);
+        }
+    }
+
+    #[test]
+    fn streaming_radius_is_lower_bound(raw in prop::collection::vec(((0.0f64..100.0), (0.0f64..100.0)), 8..24)) {
+        let pts: Vec<[f64; 2]> = raw.into_iter().map(|(x, y)| [x, y]).collect();
+        let (k, z) = (2usize, 2u64);
+        let mut alg = InsertionOnlyCoreset::new(L2, k, z, 1.0);
+        for p in &pts {
+            alg.insert(*p);
+        }
+        let weighted = unit_weighted(&pts);
+        let cand = pts.clone();
+        let opt = exact_discrete(&L2, &weighted, k, z, &cand).radius;
+        prop_assert!(alg.radius_bound() <= opt + 1e-9,
+            "r = {} > opt = {}", alg.radius_bound(), opt);
+    }
+
+    #[test]
+    fn dynamic_sketch_recovers_exact_multiset(ids in prop::collection::vec((0u64..64, 0u64..64), 1..40), churn in 0usize..30) {
+        // Insert points (with duplicates), delete a churn-prefix again;
+        // the sketch must recover the exact surviving multiset.
+        let mut sketch = DynamicCoreset::<2>::new(6, 64, 0.001, 99);
+        let mut reference: std::collections::HashMap<[u64; 2], i64> = Default::default();
+        for &(x, y) in &ids {
+            sketch.insert(&[x, y]);
+            *reference.entry([x, y]).or_insert(0) += 1;
+        }
+        for &(x, y) in ids.iter().take(churn) {
+            sketch.delete(&[x, y]);
+            let e = reference.get_mut(&[x, y]).unwrap();
+            *e -= 1;
+            if *e == 0 { reference.remove(&[x, y]); }
+        }
+        let (coreset, level) = sketch.coreset().expect("recovery");
+        prop_assert_eq!(level, 0, "few points must fit the finest grid");
+        prop_assert_eq!(coreset.len(), reference.len());
+        for w in &coreset {
+            let key = [w.point[0] as u64, w.point[1] as u64];
+            prop_assert_eq!(reference.get(&key).copied().unwrap_or(0), w.weight as i64);
+        }
+    }
+
+    #[test]
+    fn union_of_split_coverings_is_covering(raw in prop::collection::vec(((0.0f64..100.0), (0.0f64..100.0)), 6..30), cut in 1usize..5) {
+        let pts: Vec<Weighted<[f64; 2]>> = raw.into_iter().map(|(x, y)| Weighted::unit([x, y])).collect();
+        let cut = cut.min(pts.len() - 1);
+        let (a, b) = pts.split_at(cut);
+        let (k, z, eps) = (2usize, 2u64, 0.6f64);
+        let ca = mbc_construction(&L2, a, k, z, eps);
+        let cb = mbc_construction(&L2, b, k, z, eps);
+        let union = kcenter_outliers::coreset::union_coverings([ca.reps, cb.reps]);
+        prop_assert_eq!(total_weight(&union), pts.len() as u64);
+        let report = validate_coreset(&L2, &pts, &union, k, z, eps);
+        prop_assert!(report.condition1 && report.condition2, "{:?}", report);
+    }
+}
