@@ -1,0 +1,227 @@
+//! Minimal, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! exposing the API subset this workspace's benches use: `Criterion`,
+//! `benchmark_group` (with `sample_size` / `throughput` /
+//! `bench_with_input` / `bench_function` / `finish`), `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched.  This harness actually runs each closure (a short warm-up, then
+//! a fixed number of timed passes) and prints median wall time plus
+//! throughput where declared — enough for honest relative comparisons,
+//! without criterion's statistics, plots, or CLI.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for compatibility; command-line options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.render(), 10, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed passes per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declare elements/bytes processed per pass, for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_one(&label, self.samples, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_one(&label, self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { nanos: Vec::new() };
+    // One warm-up pass, then the timed passes.
+    for _ in 0..=samples {
+        f(&mut b);
+    }
+    b.nanos.remove(0);
+    b.nanos.sort_unstable();
+    let median = b.nanos.get(b.nanos.len() / 2).copied().unwrap_or(0);
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0 => println!(
+            "{label}: median {median} ns ({:.3} Melem/s)",
+            n as f64 / median as f64 * 1e3
+        ),
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if median > 0 => println!(
+            "{label}: median {median} ns ({:.3} MB/s)",
+            n as f64 / median as f64 * 1e3
+        ),
+        _ => println!("{label}: median {median} ns"),
+    }
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time one pass of `routine` (criterion batches many iterations per
+    /// sample; this stand-in times single passes, which is adequate for the
+    /// millisecond-scale routines benched here).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.nanos.push(start.elapsed().as_nanos());
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name`, parameterized by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units of work per pass, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per pass.
+    Elements(u64),
+    /// Bytes processed per pass (binary units).
+    Bytes(u64),
+    /// Bytes processed per pass (decimal units).
+    BytesDecimal(u64),
+}
+
+/// Define a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the `main` function of a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,117 @@
+//! The [`Strategy`] trait and the range / tuple / map strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest, generation is direct (no intermediate value
+/// trees) and there is no shrinking; determinism comes from the seeded
+/// [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (mirror of
+    /// `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Range strategies delegate to the `rand` stand-in's samplers (TestRng
+// implements `rand::RngCore`), so sampling behavior — bounds handling
+// included — has exactly one implementation in the workspace.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rand::SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rand::SampleRange::sample_single(self.clone(), rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7)
+}

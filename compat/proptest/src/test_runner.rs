@@ -1,0 +1,112 @@
+//! Test-runner types: configuration, case errors, and the deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+use std::fmt;
+
+/// Mirror of `proptest::test_runner::Config` (re-exported from the prelude
+/// as `ProptestConfig`).  Construct with functional-record-update syntax:
+///
+/// ```
+/// use proptest::prelude::*;
+/// let cfg = ProptestConfig { cases: 24, ..ProptestConfig::default() };
+/// assert_eq!(cfg.cases, 24);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases each test function runs.
+    pub cases: u32,
+    /// Base seed for the per-test RNG stream.  Combined with the test
+    /// function's name, so distinct tests see distinct streams while every
+    /// run of the same test sees the same one.
+    ///
+    /// This field is specific to the stand-in (the real crate seeds from
+    /// entropy and persists failures in `proptest-regressions/` instead);
+    /// uses of it must be dropped when swapping the real crate back in.
+    pub rng_seed: u64,
+    /// Accepted for source compatibility with the real crate; this
+    /// stand-in does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            rng_seed: 0x5EED,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert!`-family macro tripped.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Result type each generated case evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG feeding the strategies; the generator itself is the
+/// sibling `rand` stand-in's `StdRng` (mirroring how the real proptest
+/// builds on the real rand).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one named test: `base_seed` mixed with an FNV-1a hash of the
+    /// test name, so distinct tests see distinct deterministic streams.
+    pub fn deterministic(base_seed: u64, test_name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(base_seed ^ h),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform `u64` below `span` (> 0).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Lets the range strategies delegate straight to the `rand` stand-in's
+/// samplers instead of duplicating them.
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}

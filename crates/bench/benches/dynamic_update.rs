@@ -13,23 +13,19 @@ fn bench_dynamic(c: &mut Criterion) {
         let base = grid_clusters::<2>(side_bits, 2, 100, (1u64 << side_bits) / 32, 8, 5);
         let ops = churn_schedule(&base, 200, 7);
         g.throughput(Throughput::Elements(ops.len() as u64));
-        g.bench_with_input(
-            BenchmarkId::new("updates", side_bits),
-            &ops,
-            |b, ops| {
-                b.iter(|| {
-                    let mut sk = DynamicCoreset::<2>::new(side_bits, 64, 0.01, 11);
-                    for op in ops {
-                        if op.insert {
-                            sk.insert(&op.point);
-                        } else {
-                            sk.delete(&op.point);
-                        }
+        g.bench_with_input(BenchmarkId::new("updates", side_bits), &ops, |b, ops| {
+            b.iter(|| {
+                let mut sk = DynamicCoreset::<2>::new(side_bits, 64, 0.01, 11);
+                for op in ops {
+                    if op.insert {
+                        sk.insert(&op.point);
+                    } else {
+                        sk.delete(&op.point);
                     }
-                    black_box(sk.net_updates())
-                });
-            },
-        );
+                }
+                black_box(sk.net_updates())
+            });
+        });
         // Query cost on a populated sketch.
         let mut sk = DynamicCoreset::<2>::new(side_bits, 64, 0.01, 11);
         for op in &ops {

@@ -19,7 +19,14 @@ fn bench_mpc(c: &mut Criterion) {
     let mut g = c.benchmark_group("mpc_round");
     g.sample_size(10);
     g.bench_with_input(BenchmarkId::new("two_round_adv", n), &adv, |b, parts| {
-        b.iter(|| black_box(two_round(&L2, parts, k, z, eps, &params).output.coreset.len()));
+        b.iter(|| {
+            black_box(
+                two_round(&L2, parts, k, z, eps, &params)
+                    .output
+                    .coreset
+                    .len(),
+            )
+        });
     });
     g.bench_with_input(BenchmarkId::new("one_round_rnd", n), &rnd, |b, parts| {
         b.iter(|| {
@@ -35,7 +42,13 @@ fn bench_mpc(c: &mut Criterion) {
         b.iter(|| black_box(r_round(&L2, parts, k, z, eps, 3, &params).coreset.len()));
     });
     g.bench_with_input(BenchmarkId::new("cpp19_baseline", n), &adv, |b, parts| {
-        b.iter(|| black_box(ceccarello_one_round(&L2, parts, k, z, eps, &params).coreset.len()));
+        b.iter(|| {
+            black_box(
+                ceccarello_one_round(&L2, parts, k, z, eps, &params)
+                    .coreset
+                    .len(),
+            )
+        });
     });
     g.finish();
 }

@@ -17,8 +17,7 @@ fn bench_sliding(c: &mut Criterion) {
             let id = BenchmarkId::new(format!("z{z}"), rho_max as u64);
             g.bench_with_input(id, &stream, |b, s| {
                 b.iter(|| {
-                    let mut alg =
-                        SlidingWindowCoreset::new(L2, 2, z, 1.0, 2000, 1.0, rho_max);
+                    let mut alg = SlidingWindowCoreset::new(L2, 2, z, 1.0, 2000, 1.0, rho_max);
                     for p in s {
                         alg.insert(*p);
                     }

@@ -3,9 +3,9 @@
 //! baselines (Table 1, insertion-only rows).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kcz_metric::L2;
 use kcz_streaming::baselines::{ceccarello_stream, mk_doubling};
 use kcz_streaming::InsertionOnlyCoreset;
-use kcz_metric::L2;
 use kcz_workloads::{gaussian_clusters, shuffled};
 use std::hint::black_box;
 
@@ -18,15 +18,19 @@ fn bench_stream(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(stream.len() as u64));
 
-    g.bench_with_input(BenchmarkId::new("alg3_ours", stream.len()), &stream, |b, s| {
-        b.iter(|| {
-            let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
-            for p in s {
-                alg.insert(*p);
-            }
-            black_box(alg.coreset().len())
-        });
-    });
+    g.bench_with_input(
+        BenchmarkId::new("alg3_ours", stream.len()),
+        &stream,
+        |b, s| {
+            b.iter(|| {
+                let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
+                for p in s {
+                    alg.insert(*p);
+                }
+                black_box(alg.coreset().len())
+            });
+        },
+    );
     g.bench_with_input(BenchmarkId::new("cpp19", stream.len()), &stream, |b, s| {
         b.iter(|| {
             let mut alg = ceccarello_stream(L2, k, z, eps);
@@ -36,15 +40,19 @@ fn bench_stream(c: &mut Criterion) {
             black_box(alg.coreset().len())
         });
     });
-    g.bench_with_input(BenchmarkId::new("mk_doubling", stream.len()), &stream, |b, s| {
-        b.iter(|| {
-            let mut alg = mk_doubling(L2, k, z);
-            for p in s {
-                alg.insert(*p);
-            }
-            black_box(alg.coreset().len())
-        });
-    });
+    g.bench_with_input(
+        BenchmarkId::new("mk_doubling", stream.len()),
+        &stream,
+        |b, s| {
+            b.iter(|| {
+                let mut alg = mk_doubling(L2, k, z);
+                for p in s {
+                    alg.insert(*p);
+                }
+                black_box(alg.coreset().len())
+            });
+        },
+    );
     g.finish();
 }
 

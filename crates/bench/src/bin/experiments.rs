@@ -96,7 +96,14 @@ fn t1_mpc() {
     let (k, eps, m) = (3usize, 0.5f64, 8usize);
     let params = GreedyParams::default();
     let mut t = Table::new(&[
-        "z", "algorithm", "rounds", "worker[w]", "coord[w]", "comm[w]", "coreset", "quality",
+        "z",
+        "algorithm",
+        "rounds",
+        "worker[w]",
+        "coord[w]",
+        "comm[w]",
+        "coreset",
+        "quality",
     ]);
     for z in [8u64, 32, 128] {
         let inst = gaussian_clusters::<2>(k, 1000, 1.0, z as usize, 42 + z);
@@ -150,7 +157,13 @@ fn t1_rround() {
     let direct = greedy(&L2, &unit_weighted(&inst.points), k, z).radius;
     let parts = concentrated_partition(&inst.points, &inst.outlier_flags, m);
     let mut t = Table::new(&[
-        "R", "eps_eff", "worker[w]", "coord[w]", "comm[w]", "coreset", "quality",
+        "R",
+        "eps_eff",
+        "worker[w]",
+        "coord[w]",
+        "comm[w]",
+        "coreset",
+        "quality",
     ]);
     for rounds in [1usize, 2, 3, 4] {
         let res = r_round(&L2, &parts, k, z, eps, rounds, &params);
@@ -175,7 +188,14 @@ fn t1_stream() {
     let k = 2usize;
     let n = 20_000usize;
     let mut t = Table::new(&[
-        "eps", "z", "ours peak[w]", "CPP19 peak[w]", "MK peak[w]", "ours q", "CPP19 q", "MK q",
+        "eps",
+        "z",
+        "ours peak[w]",
+        "CPP19 peak[w]",
+        "MK peak[w]",
+        "ours q",
+        "CPP19 q",
+        "MK q",
     ]);
     for &eps in &[1.0f64, 0.5] {
         for &z in &[16u64, 64, 256] {
@@ -214,13 +234,20 @@ fn t1_dynamic() {
     println!("\n## T1-dynamic — fully dynamic row of Table 1 (k = 2, ε = 1)\n");
     let (k, eps) = (2usize, 1.0f64);
     let mut t = Table::new(&[
-        "log Δ", "z", "s", "space[w]", "level used", "coreset", "quality vs live",
+        "log Δ",
+        "z",
+        "s",
+        "space[w]",
+        "level used",
+        "coreset",
+        "quality vs live",
     ]);
     for &side_bits in &[8u32, 12, 16, 20] {
         for &z in &[4u64, 16] {
             let s = paper_sparsity(k, z, eps, 2) as usize;
             let mut sketch = DynamicCoreset::<2>::new(side_bits, s, 0.01, 21);
-            let base = grid_clusters::<2>(side_bits, k, 300, (1u64 << side_bits) / 64, z as usize, 9);
+            let base =
+                grid_clusters::<2>(side_bits, k, 300, (1u64 << side_bits) / 64, z as usize, 9);
             let ops = churn_schedule(&base, 500, 13);
             let mut live: HashSet<[u64; 2]> = HashSet::new();
             for op in &ops {
@@ -233,8 +260,7 @@ fn t1_dynamic() {
                 }
             }
             let (coreset, level) = sketch.coreset().expect("recovery");
-            let live_pts: Vec<[f64; 2]> =
-                live.iter().map(|p| [p[0] as f64, p[1] as f64]).collect();
+            let live_pts: Vec<[f64; 2]> = live.iter().map(|p| [p[0] as f64, p[1] as f64]).collect();
             let direct = greedy(&L2, &unit_weighted(&live_pts), k, z).radius;
             t.row(vec![
                 side_bits.to_string(),
@@ -257,7 +283,12 @@ fn t1_sliding() {
     println!("\n## T1-sliding — sliding-window rows (k = 2, ε = 1)\n");
     let (k, eps) = (2usize, 1.0f64);
     let mut t = Table::new(&[
-        "W", "z", "guesses", "peak[w]", "coreset", "quality vs window",
+        "W",
+        "z",
+        "guesses",
+        "peak[w]",
+        "coreset",
+        "quality vs window",
     ]);
     for &window in &[2_000u64, 8_000] {
         for &z in &[2u64, 8] {
@@ -298,7 +329,12 @@ fn f1_mbc() {
     let inst = gaussian_clusters::<2>(k, 2000, 1.0, z as usize, 23);
     let weighted = unit_weighted(&inst.points);
     let mut t = Table::new(&[
-        "eps", "|MBC|", "bound k(12/ε)^d+z", "compression", "covering radius", "ε·r/3",
+        "eps",
+        "|MBC|",
+        "bound k(12/ε)^d+z",
+        "compression",
+        "covering radius",
+        "ε·r/3",
     ]);
     for &eps in &[0.25f64, 0.5, 1.0] {
         let mbc = mbc_construction(&L2, &weighted, k, z, eps);
@@ -313,14 +349,22 @@ fn f1_mbc() {
         ]);
     }
     t.print();
-    println!("\nShape check: |MBC| well under the bound, halving ε roughly 4x-es the size (d = 2).");
+    println!(
+        "\nShape check: |MBC| well under the bound, halving ε roughly 4x-es the size (d = 2)."
+    );
 }
 
 /// F2: the insertion-only lower bounds driven against Algorithm 3.
 fn f2_lb_insertion() {
     println!("\n## F2-lb-insertion — Theorem 11 constructions vs Algorithm 3\n");
     let mut t = Table::new(&[
-        "construction", "k", "z", "eps", "forced points", "alg stored", "retained?",
+        "construction",
+        "k",
+        "z",
+        "eps",
+        "forced points",
+        "alg stored",
+        "retained?",
     ]);
     for (k, z, eps) in [(6usize, 3usize, 1.0 / 16.0), (8, 6, 1.0 / 8.0)] {
         let lb = InsertionLb::<2>::new(k, z, eps);
@@ -371,7 +415,11 @@ fn f2_lb_insertion() {
 fn f5_lb_dynamic() {
     println!("\n## F5-lb-dynamic — Theorem 28 construction vs Algorithm 5\n");
     let mut t = Table::new(&[
-        "log Δ", "construction pts", "groups g", "sketch space[w]", "recoverable at every scale",
+        "log Δ",
+        "construction pts",
+        "groups g",
+        "sketch space[w]",
+        "recoverable at every scale",
     ]);
     for &side_bits in &[12u32, 16, 20] {
         let lb = DynamicLb::new(4, 2, 0.25, side_bits);
@@ -410,13 +458,23 @@ fn f5_lb_dynamic() {
 fn f6_lb_sliding() {
     println!("\n## F6-lb-sliding — Theorem 30 construction vs the sliding-window structure\n");
     let mut t = Table::new(&[
-        "k", "z", "g (log σ)", "target kzs·g", "alg stored", "stored/target",
+        "k",
+        "z",
+        "g (log σ)",
+        "target kzs·g",
+        "alg stored",
+        "stored/target",
     ]);
-    for (k, z, g) in [(5usize, 3usize, 1usize), (5, 3, 2), (5, 3, 3), (5, 6, 2), (7, 3, 2)] {
+    for (k, z, g) in [
+        (5usize, 3usize, 1usize),
+        (5, 3, 2),
+        (5, 3, 3),
+        (5, 6, 2),
+        (7, 3, 2),
+    ] {
         let eps = 1.0 / 24.0;
         let lb = SlidingLb::new(k, z, eps, g);
-        let mut alg =
-            SlidingWindowCoreset::new(L2, k, z as u64, eps, lb.window_hint(), 0.5, 1e6);
+        let mut alg = SlidingWindowCoreset::new(L2, k, z as u64, eps, lb.window_hint(), 0.5, 1e6);
         for p in &lb.arrivals {
             alg.insert(*p);
         }
@@ -443,7 +501,14 @@ fn f8_quality() {
     let weighted = unit_weighted(&inst.points);
     let params = GreedyParams::default();
     let mut t = Table::new(&[
-        "algorithm", "eps_eff", "opt(P)", "opt(P*)", "ratio", "cond1", "cond2", "weight",
+        "algorithm",
+        "eps_eff",
+        "opt(P)",
+        "opt(P*)",
+        "ratio",
+        "cond1",
+        "cond2",
+        "weight",
     ]);
     let mut record = |name: &str, coreset: &[Weighted<[f64; 2]>], eps_eff: f64| {
         let r = validate_coreset(&L2, &weighted, coreset, k, z, eps_eff);
@@ -464,11 +529,19 @@ fn f8_quality() {
 
     let adv = concentrated_partition(&inst.points, &inst.outlier_flags, 4);
     let two = two_round(&L2, &adv, k, z, eps, &params);
-    record("MPC 2-round (Alg 2)", &two.output.coreset, two.output.effective_eps);
+    record(
+        "MPC 2-round (Alg 2)",
+        &two.output.coreset,
+        two.output.effective_eps,
+    );
 
     let rnd = random_partition(&inst.points, 4, 3);
     let one = one_round_randomized(&L2, &rnd, k, z, eps, &params);
-    record("MPC 1-round (Alg 6)", &one.output.coreset, one.output.effective_eps);
+    record(
+        "MPC 1-round (Alg 6)",
+        &one.output.coreset,
+        one.output.effective_eps,
+    );
 
     let rr = r_round(&L2, &adv, k, z, eps, 2, &params);
     record("MPC R-round (Alg 7, R=2)", &rr.coreset, rr.effective_eps);
@@ -502,7 +575,10 @@ fn ablation() {
         exact_candidates_max_n: 0,
         ..Default::default()
     };
-    for (name, p) in [("exact pairwise candidates", &exact_params), ("geometric grid (η=1%)", &geo_params)] {
+    for (name, p) in [
+        ("exact pairwise candidates", &exact_params),
+        ("geometric grid (η=1%)", &geo_params),
+    ] {
         let t0 = std::time::Instant::now();
         let sol = greedy_with(&L2, &weighted, 3, 8, p);
         t.row(vec![
@@ -523,7 +599,10 @@ fn ablation() {
     let paper_cap = streaming_capacity(k, z, eps, 2);
     for (name, cap) in [
         ("paper: k(16/ε)^d + z", paper_cap),
-        ("tight: k(8/ε)^d + z", kcz_coreset::bounds::packing_bound(k, z, 8.0 / eps, 2)),
+        (
+            "tight: k(8/ε)^d + z",
+            kcz_coreset::bounds::packing_bound(k, z, 8.0 / eps, 2),
+        ),
         ("loose: 4x paper", paper_cap * 4),
     ] {
         let mut alg = kcz_streaming::DoublingCoreset::new(L2, k, z, eps / 2.0, cap);
@@ -575,14 +654,21 @@ fn ablation() {
 /// the fully dynamic (3+ε)-approximate solver built on the sketch.
 fn ext_dynamic() {
     use kcz_streaming::{DeterministicDynamicCoreset, DynamicKCenter};
-    println!("\n## EXT-dynamic — deterministic variant and the dynamic solver (Section 5 remarks)\n");
+    println!(
+        "\n## EXT-dynamic — deterministic variant and the dynamic solver (Section 5 remarks)\n"
+    );
     let side_bits = 10u32;
     let s = 64usize;
     let base = grid_clusters::<2>(side_bits, 2, 200, 16, 8, 3);
     let ops = churn_schedule(&base, 400, 7);
 
     let mut t = Table::new(&[
-        "variant", "space[w]", "update time/op", "query time", "coreset", "exact?",
+        "variant",
+        "space[w]",
+        "update time/op",
+        "query time",
+        "coreset",
+        "exact?",
     ]);
     // Randomized (Algorithm 5 as published).
     let mut rnd = DynamicCoreset::<2>::new(side_bits, s, 0.01, 5);
@@ -638,7 +724,13 @@ fn ext_dynamic() {
     let (k, z, eps) = (2usize, 8u64, 1.0f64);
     let mut solver = DynamicKCenter::<2>::new(side_bits, k, z, eps, 0.01, 9);
     let mut live: HashSet<[u64; 2]> = HashSet::new();
-    let mut t = Table::new(&["after ops", "live", "solver radius", "direct greedy", "ratio"]);
+    let mut t = Table::new(&[
+        "after ops",
+        "live",
+        "solver radius",
+        "direct greedy",
+        "ratio",
+    ]);
     for (i, op) in ops.iter().enumerate() {
         if op.insert {
             solver.insert(&op.point);

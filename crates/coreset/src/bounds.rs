@@ -24,9 +24,7 @@ pub fn packing_bound(k: usize, z: u64, ratio: f64, d: usize) -> u64 {
     if !per_ball.is_finite() || per_ball >= u64::MAX as f64 {
         return u64::MAX;
     }
-    (k as u64)
-        .saturating_mul(per_ball as u64)
-        .saturating_add(z)
+    (k as u64).saturating_mul(per_ball as u64).saturating_add(z)
 }
 
 #[cfg(test)]

@@ -159,7 +159,11 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
 }
 
 /// Candidate radii for the binary search, ascending, first element `0`.
-fn candidate_radii(dist: &impl Fn(usize, usize) -> f64, n: usize, params: &GreedyParams) -> Vec<f64> {
+fn candidate_radii(
+    dist: &impl Fn(usize, usize) -> f64,
+    n: usize,
+    params: &GreedyParams,
+) -> Vec<f64> {
     if n <= params.exact_candidates_max_n {
         let mut c = Vec::with_capacity(n * (n - 1) / 2 + 1);
         c.push(0.0);

@@ -56,10 +56,7 @@ pub fn exact_discrete<P: Clone, M: MetricSpace<P>>(
         };
     }
     assert!(k > 0, "k must be positive when weight must be covered");
-    assert!(
-        !candidates.is_empty(),
-        "need at least one candidate center"
-    );
+    assert!(!candidates.is_empty(), "need at least one candidate center");
     let k = k.min(candidates.len());
     assert!(
         n_choose_k(candidates.len(), k) <= MAX_SUBSETS,

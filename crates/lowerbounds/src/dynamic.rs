@@ -52,8 +52,7 @@ impl DynamicLb {
 
         let n_clusters = k - 2 * D + 1;
         let side = 1u64 << side_bits;
-        let total_extent =
-            (z as u64 + n_clusters as u64) * spacing + cluster_extent + spacing;
+        let total_extent = (z as u64 + n_clusters as u64) * spacing + cluster_extent + spacing;
         assert!(
             total_extent < side,
             "construction width {total_extent} exceeds universe side {side}; \

@@ -177,11 +177,8 @@ mod tests {
         );
 
         // Claim 14: dropping p* allows radius ≤ r.
-        let dropped: Vec<Weighted<[f64; 2]>> = full
-            .iter()
-            .filter(|w| w.point != p_star)
-            .cloned()
-            .collect();
+        let dropped: Vec<Weighted<[f64; 2]>> =
+            full.iter().filter(|w| w.point != p_star).cloned().collect();
         let cand2: Vec<[f64; 2]> = dropped.iter().map(|w| w.point).collect();
         // Allow centers anywhere among a denser candidate set: the paper
         // places centers at p* ± h·e_j, so add those.

@@ -97,8 +97,7 @@ impl SlidingLb {
 
         // Arrival order: groups j descending, subgroups ℓ descending,
         // clusters i descending.
-        let mut arrivals =
-            Vec::with_capacity(n_clusters * g * s * take);
+        let mut arrivals = Vec::with_capacity(n_clusters * g * s * take);
         for j in (1..=g).rev() {
             let cell_side = (1u64 << j) as f64 * zeta as f64;
             for l in (0..s).rev() {

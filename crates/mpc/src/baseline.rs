@@ -118,8 +118,7 @@ mod tests {
         let (all, machines) = adversarial_instance(5, 4);
         let eps = 0.4;
         let res = ceccarello_one_round(&L2, &machines, 2, 5, eps, &GreedyParams::default());
-        let weighted: Vec<Weighted<[f64; 2]>> =
-            all.iter().map(|p| Weighted::unit(*p)).collect();
+        let weighted: Vec<Weighted<[f64; 2]>> = all.iter().map(|p| Weighted::unit(*p)).collect();
         assert_eq!(total_weight(&res.coreset), all.len() as u64);
         let report = validate_coreset(&L2, &weighted, &res.coreset, 2, 5, res.effective_eps);
         assert!(report.condition1 && report.condition2, "{report:?}");

@@ -1,8 +1,8 @@
 //! Round executor and storage/communication accounting.
 //!
 //! Machine-local computations within a round are independent, so the
-//! executor fans them out over OS threads (crossbeam channels feed a small
-//! worker pool).  Storage is accounted in machine words via
+//! executor fans them out over OS threads (an atomic task cursor feeds a
+//! small worker pool).  Storage is accounted in machine words via
 //! [`kcz_metric::SpaceUsage`]: a machine's footprint in a round is
 //! everything it holds when the round ends — its local input plus every
 //! message it received.
@@ -64,28 +64,28 @@ where
             .map(|(i, t)| f(i, t))
             .collect();
     }
-    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, T)>();
-    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    for pair in items.into_iter().enumerate() {
-        task_tx.send(pair).expect("queueing tasks");
-    }
-    drop(task_tx);
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {
-            let task_rx = task_rx.clone();
-            let out_tx = out_tx.clone();
-            let f = &f;
-            s.spawn(move || {
-                while let Ok((i, t)) = task_rx.recv() {
-                    out_tx.send((i, f(i, t))).expect("returning results");
+            let (tasks, results, cursor, f) = (&tasks, &results, &cursor, &f);
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let t = tasks[i].lock().unwrap().take().expect("task taken once");
+                *results[i].lock().unwrap() = Some(f(i, t));
             });
         }
     });
-    drop(out_tx);
-    let mut out: Vec<(usize, R)> = out_rx.into_iter().collect();
-    out.sort_unstable_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, r)| r).collect()
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every task completed"))
+        .collect()
 }
 
 /// Words of a point slice (a machine's raw local input).

@@ -134,8 +134,7 @@ mod tests {
         let (all, machines) = spread_instance(4, 4);
         let eps = 0.4;
         let res = one_round_randomized(&L2, &machines, 2, 4, eps, &GreedyParams::default());
-        let weighted: Vec<Weighted<[f64; 2]>> =
-            all.iter().map(|p| Weighted::unit(*p)).collect();
+        let weighted: Vec<Weighted<[f64; 2]>> = all.iter().map(|p| Weighted::unit(*p)).collect();
         assert_eq!(total_weight(&res.output.coreset), all.len() as u64);
         let report = validate_coreset(
             &L2,

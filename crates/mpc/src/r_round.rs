@@ -46,8 +46,7 @@ where
     let m = partition.len();
     let beta = fan_in(m, rounds);
 
-    let mut sets: Vec<Vec<Weighted<P>>> =
-        partition.iter().map(|pts| unit_weighted(pts)).collect();
+    let mut sets: Vec<Vec<Weighted<P>>> = partition.iter().map(|pts| unit_weighted(pts)).collect();
 
     let mut worker_peak = 0usize;
     let mut comm_words = 0u64;
@@ -126,7 +125,10 @@ mod tests {
     fn fan_in_collapses_in_r_rounds() {
         for (m, r) in [(16usize, 2usize), (16, 4), (27, 3), (5, 1), (1, 3)] {
             let beta = fan_in(m, r);
-            assert!(beta.pow(r as u32) >= m, "β={beta} too small for m={m}, R={r}");
+            assert!(
+                beta.pow(r as u32) >= m,
+                "β={beta} too small for m={m}, R={r}"
+            );
         }
     }
 

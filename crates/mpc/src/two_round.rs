@@ -209,8 +209,7 @@ mod tests {
         let z = 6;
         let (all, machines) = adversarial_instance(z);
         let res = two_round(&L2, &machines, 3, z, 0.5, &GreedyParams::default());
-        let weighted: Vec<Weighted<[f64; 2]>> =
-            all.iter().map(|p| Weighted::unit(*p)).collect();
+        let weighted: Vec<Weighted<[f64; 2]>> = all.iter().map(|p| Weighted::unit(*p)).collect();
         let opt = exact_discrete(&L2, &weighted, 3, z, &all).radius;
         assert!(
             res.rhat <= 3.0 * opt + 1e-9,
@@ -226,8 +225,7 @@ mod tests {
         let (all, machines) = adversarial_instance(z);
         let eps = 0.4;
         let res = two_round(&L2, &machines, 3, z, eps, &GreedyParams::default());
-        let weighted: Vec<Weighted<[f64; 2]>> =
-            all.iter().map(|p| Weighted::unit(*p)).collect();
+        let weighted: Vec<Weighted<[f64; 2]>> = all.iter().map(|p| Weighted::unit(*p)).collect();
         assert_eq!(total_weight(&res.output.coreset), all.len() as u64);
         let report = validate_coreset(
             &L2,
@@ -255,10 +253,7 @@ mod tests {
 
     #[test]
     fn zero_outliers_degenerates_cleanly() {
-        let machines = vec![
-            vec![[0.0, 0.0], [0.1, 0.0]],
-            vec![[50.0, 0.0], [50.1, 0.0]],
-        ];
+        let machines = vec![vec![[0.0, 0.0], [0.1, 0.0]], vec![[50.0, 0.0], [50.1, 0.0]]];
         let res = two_round(&L2, &machines, 2, 0, 0.5, &GreedyParams::default());
         assert_eq!(res.budgets, vec![0, 0]);
         assert_eq!(total_weight(&res.output.coreset), 4);

@@ -172,10 +172,7 @@ mod tests {
             sk.update(id, -2);
         }
         let got = sk.recover();
-        assert_eq!(
-            exact_of(&got),
-            &vec![(497u64, 2i64), (498, 2), (499, 2)]
-        );
+        assert_eq!(exact_of(&got), &vec![(497u64, 2i64), (498, 2), (499, 2)]);
     }
 
     #[test]
@@ -199,8 +196,7 @@ mod tests {
             }
             sk.update(id, delta);
             if step % 1000 == 0 && reference.len() <= 32 {
-                let mut want: Vec<(u64, i64)> =
-                    reference.iter().map(|(&k, &v)| (k, v)).collect();
+                let mut want: Vec<(u64, i64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
                 want.sort_unstable();
                 assert_eq!(exact_of(&sk.recover()), &want);
             }

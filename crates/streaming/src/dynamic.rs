@@ -36,7 +36,10 @@ impl std::fmt::Display for DynamicCoresetError {
                 write!(f, "all grid levels saturated; sketch recovery failed")
             }
             DynamicCoresetError::NegativeFrequency { level } => {
-                write!(f, "negative cell frequency at level {level}: stream is not strict turnstile")
+                write!(
+                    f,
+                    "negative cell frequency at level {level}: stream is not strict turnstile"
+                )
             }
         }
     }
@@ -121,7 +124,14 @@ impl<const D: usize> DynamicCoreset<D> {
     }
 
     /// Creates the structure with the paper's `s = k(4√d/ε)^d + z`.
-    pub fn for_params(side_bits: u32, k: usize, z: u64, eps: f64, fail_delta: f64, seed: u64) -> Self {
+    pub fn for_params(
+        side_bits: u32,
+        k: usize,
+        z: u64,
+        eps: f64,
+        fail_delta: f64,
+        seed: u64,
+    ) -> Self {
         assert!(eps > 0.0 && eps <= 1.0, "ε must be in (0, 1]");
         let s = paper_sparsity(k, z, eps, D);
         assert!(
@@ -187,7 +197,11 @@ impl<const D: usize> DynamicCoreset<D> {
     /// midpoint in Euclidean coordinates.
     fn cell_center(&self, id: u64, level: u32) -> [f64; D] {
         let bits = (self.side_bits - level) as u64;
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let half = ((1u64 << level) - 1) as f64 / 2.0;
         let mut out = [0.0f64; D];
         for (j, slot) in out.iter_mut().enumerate() {

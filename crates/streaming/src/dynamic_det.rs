@@ -120,7 +120,11 @@ impl<const D: usize> DeterministicDynamicCoreset<D> {
 
     fn cell_center(&self, id: u64, level: u32) -> [f64; D] {
         let bits = (self.side_bits - level) as u64;
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let half = ((1u64 << level) - 1) as f64 / 2.0;
         let mut out = [0.0f64; D];
         for (j, slot) in out.iter_mut().enumerate() {

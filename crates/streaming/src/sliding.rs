@@ -247,11 +247,7 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
             words += 2;
             for c in &g.clusters {
                 words += c.anchor.words() + 1;
-                words += c
-                    .pts
-                    .iter()
-                    .map(|(_, p)| p.words() + 1)
-                    .sum::<usize>();
+                words += c.pts.iter().map(|(_, p)| p.words() + 1).sum::<usize>();
             }
         }
         words
@@ -268,10 +264,7 @@ mod tests {
     use super::*;
     use kcz_metric::L2;
 
-    fn drive(
-        alg: &mut SlidingWindowCoreset<[f64; 2], L2>,
-        pts: &[[f64; 2]],
-    ) {
+    fn drive(alg: &mut SlidingWindowCoreset<[f64; 2], L2>, pts: &[[f64; 2]]) {
         for p in pts {
             alg.insert(*p);
         }
@@ -313,11 +306,7 @@ mod tests {
             alg.insert([5000.0 + i as f64, 5000.0]);
         }
         let q = alg.query().unwrap();
-        let near = q
-            .coreset
-            .iter()
-            .filter(|w| w.point[0] < 1.0)
-            .count() as u64;
+        let near = q.coreset.iter().filter(|w| w.point[0] < 1.0).count() as u64;
         assert!(near > z, "cluster weight clamped too low: {near}");
     }
 
@@ -353,7 +342,11 @@ mod tests {
         // should win.
         for i in 0..30 {
             let x = (i % 5) as f64 * 0.05;
-            alg.insert(if i % 2 == 0 { [x, 0.0] } else { [100.0 + x, 0.0] });
+            alg.insert(if i % 2 == 0 {
+                [x, 0.0]
+            } else {
+                [100.0 + x, 0.0]
+            });
         }
         let q = alg.query().unwrap();
         assert!(q.rho <= 2.0, "chose needlessly coarse guess {}", q.rho);

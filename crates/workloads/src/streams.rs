@@ -80,9 +80,7 @@ pub fn drifting_stream(
 ) -> Vec<[f64; 2]> {
     assert!(k >= 1 && sigma > 0.0 && (0.0..1.0).contains(&outlier_rate));
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut centers: Vec<[f64; 2]> = (0..k)
-        .map(|i| [i as f64 * 40.0 * sigma, 0.0])
-        .collect();
+    let mut centers: Vec<[f64; 2]> = (0..k).map(|i| [i as f64 * 40.0 * sigma, 0.0]).collect();
     let mut out = Vec::with_capacity(n);
     for t in 0..n {
         for c in centers.iter_mut() {

@@ -48,8 +48,7 @@ fn main() {
             let sol = greedy(&L2, &coreset, k, z);
             // Ground truth on the live set (this is what the sketch avoids
             // storing; we keep it here only to show the answer is right).
-            let live_pts: Vec<[f64; 2]> =
-                live.iter().map(|p| [p[0] as f64, p[1] as f64]).collect();
+            let live_pts: Vec<[f64; 2]> = live.iter().map(|p| [p[0] as f64, p[1] as f64]).collect();
             let exact = greedy(&L2, &unit_weighted(&live_pts), k, z);
             println!(
                 "{:>6} {:>6} {:>7} {:>7} {:>9.1} {:>8.1}",

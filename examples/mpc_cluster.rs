@@ -27,23 +27,42 @@ fn main() {
     let params = GreedyParams::default();
 
     let full = greedy(&L2, &weighted, k, z);
-    println!("offline greedy on the full input: radius {:.3}\n", full.radius);
+    println!(
+        "offline greedy on the full input: radius {:.3}\n",
+        full.radius
+    );
 
     let mut rows: Vec<(String, MpcRunStats, f64)> = Vec::new();
 
     let two = two_round(&L2, &adversarial, k, z, eps, &params);
-    rows.push(("2-round (Alg 2, adversarial)".into(), two.output.stats.clone(), solve(&two.output.coreset, k, z)));
+    rows.push((
+        "2-round (Alg 2, adversarial)".into(),
+        two.output.stats.clone(),
+        solve(&two.output.coreset, k, z),
+    ));
 
     let one = one_round_randomized(&L2, &random, k, z, eps, &params);
-    rows.push(("1-round (Alg 6, random)".into(), one.output.stats.clone(), solve(&one.output.coreset, k, z)));
+    rows.push((
+        "1-round (Alg 6, random)".into(),
+        one.output.stats.clone(),
+        solve(&one.output.coreset, k, z),
+    ));
 
     for rounds in [2usize, 3] {
         let rr = r_round(&L2, &adversarial, k, z, eps, rounds, &params);
-        rows.push((format!("{rounds}-round tree (Alg 7, adversarial)"), rr.stats.clone(), solve(&rr.coreset, k, z)));
+        rows.push((
+            format!("{rounds}-round tree (Alg 7, adversarial)"),
+            rr.stats.clone(),
+            solve(&rr.coreset, k, z),
+        ));
     }
 
     let base = ceccarello_one_round(&L2, &adversarial, k, z, eps, &params);
-    rows.push(("CPP19 baseline (adversarial)".into(), base.stats.clone(), solve(&base.coreset, k, z)));
+    rows.push((
+        "CPP19 baseline (adversarial)".into(),
+        base.stats.clone(),
+        solve(&base.coreset, k, z),
+    ));
 
     println!(
         "{:<36} {:>7} {:>12} {:>12} {:>10} {:>9} {:>8}",
@@ -52,7 +71,13 @@ fn main() {
     for (name, s, radius) in &rows {
         println!(
             "{:<36} {:>7} {:>12} {:>12} {:>10} {:>9} {:>8.3}",
-            name, s.rounds, s.worker_peak_words, s.coordinator_peak_words, s.comm_words, s.coreset_size, radius
+            name,
+            s.rounds,
+            s.worker_peak_words,
+            s.coordinator_peak_words,
+            s.comm_words,
+            s.coreset_size,
+            radius
         );
     }
     println!(

@@ -92,10 +92,10 @@ fn make_stream(n: usize, z: usize) -> Vec<[f64; 2]> {
         } else {
             let m = modes[t % 3];
             // Box–Muller noise, σ = 2.
-            let g0 = (-2.0 * unit().max(1e-12).ln()).sqrt()
-                * (std::f64::consts::TAU * unit()).cos();
-            let g1 = (-2.0 * unit().max(1e-12).ln()).sqrt()
-                * (std::f64::consts::TAU * unit()).sin();
+            let g0 =
+                (-2.0 * unit().max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * unit()).cos();
+            let g1 =
+                (-2.0 * unit().max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * unit()).sin();
             out.push([m[0] + 2.0 * g0, m[1] + 2.0 * g1]);
         }
     }

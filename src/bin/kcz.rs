@@ -44,20 +44,20 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing subcommand".into());
     };
     let flags = parse_flags(&args[1..])?;
-    let input = flags
-        .get("input")
-        .ok_or("missing --input")?
-        .clone();
+    let input = flags.get("input").ok_or("missing --input")?.clone();
     let points = read_csv(&input)?;
     if points.is_empty() {
         return Err(format!("no points in {input}"));
     }
     let k: usize = parse(&flags, "k")?;
     let z: u64 = parse(&flags, "z")?;
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
 
     match cmd.as_str() {
         "coreset" => {
-            let eps: f64 = parse(&flags, "eps")?;
+            let eps = parse_eps(&flags)?;
             let t0 = std::time::Instant::now();
             let mbc = mbc_construction(&L2, &points, k, z, eps);
             eprintln!(
@@ -79,7 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "solve" => {
             let summary: Vec<Weighted<[f64; 2]>> = match flags.get("eps") {
                 Some(_) => {
-                    let eps: f64 = parse(&flags, "eps")?;
+                    let eps = parse_eps(&flags)?;
                     mbc_construction(&L2, &points, k, z, eps).reps
                 }
                 None => points.clone(),
@@ -99,7 +99,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "stream" => {
-            let eps: f64 = parse(&flags, "eps")?;
+            let eps = parse_eps(&flags)?;
             let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
             for p in &points {
                 for _ in 0..p.weight {
@@ -118,8 +118,11 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "mpc" => {
-            let eps: f64 = parse(&flags, "eps")?;
+            let eps = parse_eps(&flags)?;
             let m: usize = parse(&flags, "machines")?;
+            if m == 0 {
+                return Err("--machines must be at least 1".into());
+            }
             let raw: Vec<[f64; 2]> = points.iter().map(|p| p.point).collect();
             let parts = round_robin(&raw, m);
             let params = GreedyParams::default();
@@ -129,7 +132,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 "two_round" => two_round(&L2, &parts, k, z, eps, &params).output,
                 "one_round" => one_round_randomized(&L2, &parts, k, z, eps, &params).output,
                 "rround" => {
-                    let rounds: usize = parse(&flags, "rounds").unwrap_or(2);
+                    let rounds: usize = match flags.get("rounds") {
+                        Some(_) => parse(&flags, "rounds")?,
+                        None => 2,
+                    };
+                    if rounds == 0 {
+                        return Err("--rounds must be at least 1".into());
+                    }
                     r_round(&L2, &parts, k, z, eps, rounds, &params)
                 }
                 "baseline" => ceccarello_one_round(&L2, &parts, k, z, eps, &params),
@@ -147,7 +156,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 s.coreset_size
             );
             let sol = greedy(&L2, &out.coreset, k, z);
-            println!("radius: {:.6}  effective_eps: {:.3}", sol.radius, out.effective_eps);
+            println!(
+                "radius: {:.6}  effective_eps: {:.3}",
+                sol.radius, out.effective_eps
+            );
             Ok(())
         }
         other => Err(format!("unknown subcommand `{other}`")),
@@ -173,6 +185,15 @@ fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> R
     let raw = flags.get(name).ok_or(format!("missing --{name}"))?;
     raw.parse()
         .map_err(|_| format!("invalid value `{raw}` for --{name}"))
+}
+
+/// Every algorithm in the suite requires ε ∈ (0, 1].
+fn parse_eps(flags: &HashMap<String, String>) -> Result<f64, String> {
+    let eps: f64 = parse(flags, "eps")?;
+    if !(eps > 0.0 && eps <= 1.0) {
+        return Err(format!("--eps must be in (0, 1], got {eps}"));
+    }
+    Ok(eps)
 }
 
 fn read_csv(path: &str) -> Result<Vec<Weighted<[f64; 2]>>, String> {

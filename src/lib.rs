@@ -55,9 +55,7 @@ pub use kcz_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use kcz_coreset::validate::{covering_radius, validate_coreset};
-    pub use kcz_coreset::{
-        mbc_construction, streaming_capacity, update_coreset, MiniBallCovering,
-    };
+    pub use kcz_coreset::{mbc_construction, streaming_capacity, update_coreset, MiniBallCovering};
     pub use kcz_kcenter::{
         cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,
     };
@@ -73,7 +71,7 @@ pub mod prelude {
         DoublingCoreset, DynamicCoreset, InsertionOnlyCoreset, SlidingWindowCoreset,
     };
     pub use kcz_workloads::{
-        churn_schedule, concentrated_partition, drifting_stream, gaussian_clusters,
-        grid_clusters, random_partition, round_robin, shuffled, uniform_box,
+        churn_schedule, concentrated_partition, drifting_stream, gaussian_clusters, grid_clusters,
+        random_partition, round_robin, shuffled, uniform_box,
     };
 }

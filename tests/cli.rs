@@ -24,10 +24,22 @@ fn solve_reports_radius_and_centers() {
     std::fs::create_dir_all(&dir).unwrap();
     let input = write_points(&dir);
     let out = kcz()
-        .args(["solve", "--input", input.to_str().unwrap(), "--k", "2", "--z", "1"])
+        .args([
+            "solve",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--z",
+            "1",
+        ])
         .output()
         .expect("run kcz");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("radius:"), "{stdout}");
     assert_eq!(stdout.matches("center:").count(), 2, "{stdout}");
@@ -67,7 +79,15 @@ fn coreset_roundtrips_through_csv() {
     assert!(st.success());
     // The produced file is valid input again; total weight is preserved.
     let out = kcz()
-        .args(["solve", "--input", output.to_str().unwrap(), "--k", "2", "--z", "1"])
+        .args([
+            "solve",
+            "--input",
+            output.to_str().unwrap(),
+            "--k",
+            "2",
+            "--z",
+            "1",
+        ])
         .output()
         .expect("run kcz on coreset");
     assert!(out.status.success());
@@ -87,7 +107,15 @@ fn stream_and_mpc_subcommands_run() {
     let input = write_points(&dir);
     let out = kcz()
         .args([
-            "stream", "--input", input.to_str().unwrap(), "--k", "2", "--z", "1", "--eps", "0.5",
+            "stream",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
         ])
         .output()
         .unwrap();
@@ -97,8 +125,19 @@ fn stream_and_mpc_subcommands_run() {
     for alg in ["two_round", "one_round", "rround", "baseline"] {
         let out = kcz()
             .args([
-                "mpc", "--input", input.to_str().unwrap(), "--k", "2", "--z", "1", "--eps",
-                "0.5", "--machines", "3", "--algorithm", alg,
+                "mpc",
+                "--input",
+                input.to_str().unwrap(),
+                "--k",
+                "2",
+                "--z",
+                "1",
+                "--eps",
+                "0.5",
+                "--machines",
+                "3",
+                "--algorithm",
+                alg,
             ])
             .output()
             .unwrap();
@@ -107,6 +146,45 @@ fn stream_and_mpc_subcommands_run() {
             String::from_utf8_lossy(&out.stdout).contains("coreset:"),
             "{alg}"
         );
+    }
+}
+
+#[test]
+fn solve_golden_output_on_committed_fixture() {
+    // `greedy` is deterministic, so the full stdout for the committed
+    // fixture is pinned byte-for-byte.  The two centers are the weighted
+    // centroids of the planted unit squares (covering radius √2/2) and the
+    // far outlier is the one uncovered unit of weight.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let out = kcz()
+        .args(["solve", "--input", fixture, "--k", "2", "--z", "1"])
+        .output()
+        .expect("run kcz");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout,
+        "radius: 0.707107\n\
+         uncovered_weight: 1\n\
+         center: 100.5,100.5\n\
+         center: 0.5,0.5\n"
+    );
+    // Beyond byte equality: the lines parse back into numbers.
+    let radius: f64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("radius: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((radius - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+    for line in stdout.lines().filter(|l| l.starts_with("center: ")) {
+        let (x, y) = line["center: ".len()..].split_once(',').unwrap();
+        x.parse::<f64>().unwrap();
+        y.parse::<f64>().unwrap();
     }
 }
 
@@ -121,7 +199,15 @@ fn bad_inputs_fail_cleanly() {
     let bad = dir.join("bad.csv");
     std::fs::write(&bad, "1.0,nope\n").unwrap();
     let out = kcz()
-        .args(["solve", "--input", bad.to_str().unwrap(), "--k", "1", "--z", "0"])
+        .args([
+            "solve",
+            "--input",
+            bad.to_str().unwrap(),
+            "--k",
+            "1",
+            "--z",
+            "0",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -129,4 +215,97 @@ fn bad_inputs_fail_cleanly() {
     // Missing flag.
     let out = kcz().args(["solve", "--k", "1"]).output().unwrap();
     assert!(!out.status.success());
+    // Degenerate parameters fail with a clean error, not a panic.
+    let good = dir.join("good.csv");
+    std::fs::write(&good, "0,0\n1,1\n").unwrap();
+    let out = kcz()
+        .args([
+            "solve",
+            "--input",
+            good.to_str().unwrap(),
+            "--k",
+            "0",
+            "--z",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--k must be at least 1"));
+    let out = kcz()
+        .args([
+            "mpc",
+            "--input",
+            good.to_str().unwrap(),
+            "--k",
+            "1",
+            "--z",
+            "0",
+            "--eps",
+            "0.5",
+            "--machines",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--machines must be at least 1"));
+    // ε outside (0, 1] and degenerate/malformed --rounds: clean exit 2.
+    for (args, needle) in [
+        (
+            vec!["stream", "--k", "1", "--z", "0", "--eps", "0"],
+            "--eps must be in (0, 1]",
+        ),
+        (
+            vec!["coreset", "--k", "1", "--z", "0", "--eps", "1.5"],
+            "--eps must be in (0, 1]",
+        ),
+        (
+            vec![
+                "mpc",
+                "--k",
+                "1",
+                "--z",
+                "0",
+                "--eps",
+                "0.5",
+                "--machines",
+                "2",
+                "--algorithm",
+                "rround",
+                "--rounds",
+                "oops",
+            ],
+            "invalid value `oops` for --rounds",
+        ),
+        (
+            vec![
+                "mpc",
+                "--k",
+                "1",
+                "--z",
+                "0",
+                "--eps",
+                "0.5",
+                "--machines",
+                "2",
+                "--algorithm",
+                "rround",
+                "--rounds",
+                "0",
+            ],
+            "--rounds must be at least 1",
+        ),
+    ] {
+        let mut cmd = kcz();
+        cmd.arg(args[0]).args(["--input", good.to_str().unwrap()]);
+        cmd.args(&args[1..]);
+        let out = cmd.output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(needle),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
 }

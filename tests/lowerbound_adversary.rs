@@ -27,7 +27,8 @@ fn lemma12_forces_cluster_retention_in_streaming_coreset() {
         }
     }
     assert_eq!(
-        missing, 0,
+        missing,
+        0,
         "streaming coreset dropped {missing} of {} cluster points",
         lb.n_cluster_points()
     );
@@ -55,11 +56,8 @@ fn lemma12_probe_breaks_any_smaller_summary() {
         full.push(Weighted::new(*pr, 2));
     }
     // The cheating summary: everything except p*.
-    let cheat: Vec<Weighted<[f64; 2]>> = full
-        .iter()
-        .filter(|w| w.point != p_star)
-        .cloned()
-        .collect();
+    let cheat: Vec<Weighted<[f64; 2]>> =
+        full.iter().filter(|w| w.point != p_star).cloned().collect();
     // Candidate centers: all points, plus the proof's special centers
     // p* ± h·e_j that exploit the missing p*.
     let mut cand: Vec<[f64; 2]> = full.iter().map(|w| w.point).collect();

@@ -18,8 +18,18 @@ fn two_round_valid_on_adversarial_partition() {
     let parts = concentrated_partition(&pts, &flags, 5);
     let res = two_round(&L2, &parts, k, z, 0.4, &GreedyParams::default());
     let weighted = unit_weighted(&pts);
-    let report = validate_coreset(&L2, &weighted, &res.output.coreset, k, z, res.output.effective_eps);
-    assert!(report.condition1 && report.condition2 && report.weight_preserved, "{report:?}");
+    let report = validate_coreset(
+        &L2,
+        &weighted,
+        &res.output.coreset,
+        k,
+        z,
+        res.output.effective_eps,
+    );
+    assert!(
+        report.condition1 && report.condition2 && report.weight_preserved,
+        "{report:?}"
+    );
     assert!(res.budgets.iter().sum::<u64>() <= 2 * z);
 }
 
@@ -29,8 +39,18 @@ fn one_round_valid_on_random_partition() {
     let parts = random_partition(&pts, 5, 17);
     let res = one_round_randomized(&L2, &parts, k, z, 0.4, &GreedyParams::default());
     let weighted = unit_weighted(&pts);
-    let report = validate_coreset(&L2, &weighted, &res.output.coreset, k, z, res.output.effective_eps);
-    assert!(report.condition1 && report.condition2 && report.weight_preserved, "{report:?}");
+    let report = validate_coreset(
+        &L2,
+        &weighted,
+        &res.output.coreset,
+        k,
+        z,
+        res.output.effective_eps,
+    );
+    assert!(
+        report.condition1 && report.condition2 && report.weight_preserved,
+        "{report:?}"
+    );
 }
 
 #[test]
@@ -58,7 +78,10 @@ fn baseline_valid_but_heavier_on_coordinator() {
     let weighted = unit_weighted(&pts);
     let base = ceccarello_one_round(&L2, &parts, k, z, 0.4, &GreedyParams::default());
     let report = validate_coreset(&L2, &weighted, &base.coreset, k, z, base.effective_eps);
-    assert!(report.condition1 && report.condition2 && report.weight_preserved, "{report:?}");
+    assert!(
+        report.condition1 && report.condition2 && report.weight_preserved,
+        "{report:?}"
+    );
 }
 
 #[test]
@@ -76,16 +99,23 @@ fn all_algorithms_agree_on_the_answer() {
 
     let candidates = [
         ("two_round", two_round(&L2, &adv, k, z, eps, &params).output),
-        ("one_round", one_round_randomized(&L2, &rnd, k, z, eps, &params).output),
+        (
+            "one_round",
+            one_round_randomized(&L2, &rnd, k, z, eps, &params).output,
+        ),
         ("r_round", r_round(&L2, &adv, k, z, eps, 2, &params)),
-        ("baseline", ceccarello_one_round(&L2, &adv, k, z, eps, &params)),
+        (
+            "baseline",
+            ceccarello_one_round(&L2, &adv, k, z, eps, &params),
+        ),
     ];
     for (name, out) in candidates {
         let r = greedy(&L2, &out.coreset, k, z).radius;
         // Both radii are 3-approximations of nearby quantities; a generous
         // shared band keeps this robust while catching gross errors.
         assert!(
-            r <= 3.2 * (1.0 + out.effective_eps) * direct + 1e-9 && 3.2 * r >= direct * (1.0 - out.effective_eps) - 1e-9,
+            r <= 3.2 * (1.0 + out.effective_eps) * direct + 1e-9
+                && 3.2 * r >= direct * (1.0 - out.effective_eps) - 1e-9,
             "{name}: coreset radius {r} vs direct {direct}"
         );
     }

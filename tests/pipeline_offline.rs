@@ -42,7 +42,10 @@ fn lemma7_size_shrinks_with_eps_growth() {
         sizes[0] >= sizes[1] && sizes[1] >= sizes[2],
         "sizes not monotone in ε: {sizes:?}"
     );
-    assert!(sizes[2] < inst.points.len() / 4, "no compression: {sizes:?}");
+    assert!(
+        sizes[2] < inst.points.len() / 4,
+        "no compression: {sizes:?}"
+    );
 }
 
 #[test]
@@ -84,7 +87,11 @@ fn planted_outliers_are_the_solver_outliers() {
     let inst = gaussian_clusters::<2>(3, 100, 1.0, 6, 11);
     let weighted = unit_weighted(&inst.points);
     let sol = greedy(&L2, &weighted, 3, 6);
-    assert!(sol.radius < 15.0, "solution radius {} too large", sol.radius);
+    assert!(
+        sol.radius < 15.0,
+        "solution radius {} too large",
+        sol.radius
+    );
     for (p, &is_outlier) in inst.points.iter().zip(&inst.outlier_flags) {
         let covered = sol.centers.iter().any(|c| L2.dist(p, c) <= sol.radius);
         if !covered {

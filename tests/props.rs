@@ -6,11 +6,7 @@ use proptest::prelude::*;
 
 /// Small random weighted point sets in [0, 100]².
 fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Weighted<[f64; 2]>>> {
-    prop::collection::vec(
-        ((0.0f64..100.0), (0.0f64..100.0), 1u64..4),
-        2..max_n,
-    )
-    .prop_map(|v| {
+    prop::collection::vec(((0.0f64..100.0), (0.0f64..100.0), 1u64..4), 2..max_n).prop_map(|v| {
         v.into_iter()
             .map(|(x, y, w)| Weighted::new([x, y], w))
             .collect()
@@ -18,7 +14,13 @@ fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Weighted<[f64; 2]>>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    // Pinned case count and RNG seed: tier-1 CI must never flake, and any
+    // failure must reproduce exactly from a plain rerun.
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        rng_seed: 0xDEBB_1AB1,
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn greedy_within_three_of_exact(pts in arb_points(14), k in 1usize..3, z in 0u64..4) {

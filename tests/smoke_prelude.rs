@@ -1,0 +1,54 @@
+//! Facade smoke test: the `prelude::*` path must support the full
+//! generate → coreset → greedy → validate pipeline end-to-end.  This
+//! mirrors the `src/lib.rs` quickstart doctest, so a re-export that goes
+//! missing breaks a named test here, not just an anonymous doctest.
+
+use kcenter_outliers::prelude::*;
+
+#[test]
+fn prelude_supports_quickstart_pipeline() {
+    // Generate: clustered data with planted outliers.
+    let inst = gaussian_clusters::<2>(3, 200, 1.0, 10, 42);
+    let weighted = unit_weighted(&inst.points);
+    assert_eq!(weighted.len(), inst.points.len());
+
+    // Coreset: several times smaller than the input.
+    let (k, z, eps) = (3usize, 10u64, 1.0f64);
+    let mbc = mbc_construction(&L2, &weighted, k, z, eps);
+    assert!(
+        mbc.len() < inst.points.len() / 4,
+        "coreset {} not much smaller than input {}",
+        mbc.len(),
+        inst.points.len()
+    );
+    assert_eq!(total_weight(&mbc.reps), total_weight(&weighted));
+
+    // Validate: both Definition-1 coreset conditions hold empirically.
+    // The validator's ground truth is the exact solver, whose work bound
+    // caps the instance size, so validation runs on a smaller workload.
+    let small = gaussian_clusters::<2>(3, 12, 1.0, 4, 7);
+    let small_weighted = unit_weighted(&small.points);
+    let small_mbc = mbc_construction(&L2, &small_weighted, k, 4, eps);
+    let report = validate_coreset(&L2, &small_weighted, &small_mbc.reps, k, 4, eps);
+    assert!(report.weight_preserved, "{report:?}");
+    assert!(report.condition1, "{report:?}");
+    assert!(report.condition2, "{report:?}");
+
+    // Solve: greedy on the coreset approximates greedy on the input.
+    let on_coreset = greedy(&L2, &mbc.reps, k, z);
+    let on_input = greedy(&L2, &weighted, k, z);
+    assert!(on_coreset.radius <= 3.0 * (1.0 + eps) * on_input.radius + 1e-9);
+    assert_eq!(on_coreset.centers.len(), k);
+
+    // The remaining prelude entry points stay callable end-to-end.  Every
+    // input point sits within the mini-ball granularity ε·r/3 of some
+    // representative (Definition 2's covering property).
+    let cr = covering_radius(&L2, &weighted, &mbc.reps).expect("nonempty coreset");
+    assert!(
+        cr <= eps * mbc.greedy_radius / 3.0 + 1e-9,
+        "covering radius {cr}"
+    );
+    assert!(uncovered_weight(&L2, &weighted, &on_input.centers, on_input.radius) <= z);
+    let cost = cost_with_outliers(&L2, &weighted, &on_input.centers, z);
+    assert!(cost <= on_input.radius + 1e-9);
+}
