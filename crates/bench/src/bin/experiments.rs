@@ -3,10 +3,14 @@
 //! paper's "figures").  See `EXPERIMENTS.md` for the index and for the
 //! recorded outputs.
 //!
-//! Usage: `cargo run -p kcz-bench --release --bin experiments -- <id|all>`
-//! where `<id>` is one of: t1_mpc, t1_rround, t1_stream, t1_dynamic,
-//! t1_sliding, f1_mbc, f2_lb_insertion, f5_lb_dynamic, f6_lb_sliding,
-//! f8_quality, ablation, ext_dynamic.
+//! Usage: `cargo run -p kcz-bench --release --bin experiments -- <id|all>
+//! [--json <path>]` where `<id>` is one of: t1_mpc, t1_rround, t1_stream,
+//! t1_dynamic, t1_sliding, f1_mbc, f2_lb_insertion, f5_lb_dynamic,
+//! f6_lb_sliding, f8_quality, ablation, ext_dynamic.
+//!
+//! `--json <path>` additionally writes machine-readable per-run metrics
+//! (wall time, rebuilds, peak words, coreset sizes, …) so successive PRs
+//! can track a performance trajectory from committed `BENCH_*.json` files.
 
 use kcz_bench::Table;
 use kcz_coreset::validate::validate_coreset;
@@ -26,63 +30,124 @@ use kcz_workloads::{
 use std::collections::HashSet;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("missing value for --json");
+                    std::process::exit(2);
+                }
+            }
+        } else if which.is_some() {
+            eprintln!("expected a single experiment id, got `{a}` after another id");
+            std::process::exit(2);
+        } else {
+            which = Some(a.clone());
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".into());
     let t0 = std::time::Instant::now();
     let run = |name: &str| which == "all" || which == name;
     let mut ran = false;
-    if run("t1_mpc") {
-        t1_mpc();
-        ran = true;
-    }
-    if run("t1_rround") {
-        t1_rround();
-        ran = true;
-    }
-    if run("t1_stream") {
-        t1_stream();
-        ran = true;
-    }
-    if run("t1_dynamic") {
-        t1_dynamic();
-        ran = true;
-    }
-    if run("t1_sliding") {
-        t1_sliding();
-        ran = true;
-    }
-    if run("f1_mbc") {
-        f1_mbc();
-        ran = true;
-    }
-    if run("f2_lb_insertion") {
-        f2_lb_insertion();
-        ran = true;
-    }
-    if run("f5_lb_dynamic") {
-        f5_lb_dynamic();
-        ran = true;
-    }
-    if run("f6_lb_sliding") {
-        f6_lb_sliding();
-        ran = true;
-    }
-    if run("f8_quality") {
-        f8_quality();
-        ran = true;
-    }
-    if run("ablation") {
-        ablation();
-        ran = true;
-    }
-    if run("ext_dynamic") {
-        ext_dynamic();
-        ran = true;
+    let experiments: [(&'static str, fn()); 12] = [
+        ("t1_mpc", t1_mpc),
+        ("t1_rround", t1_rround),
+        ("t1_stream", t1_stream),
+        ("t1_dynamic", t1_dynamic),
+        ("t1_sliding", t1_sliding),
+        ("f1_mbc", f1_mbc),
+        ("f2_lb_insertion", f2_lb_insertion),
+        ("f5_lb_dynamic", f5_lb_dynamic),
+        ("f6_lb_sliding", f6_lb_sliding),
+        ("f8_quality", f8_quality),
+        ("ablation", ablation),
+        ("ext_dynamic", ext_dynamic),
+    ];
+    for (name, f) in experiments {
+        if run(name) {
+            let t = std::time::Instant::now();
+            f();
+            record_run(name, "total", t.elapsed().as_secs_f64() * 1e3, &[]);
+            ran = true;
+        }
     }
     if !ran {
         eprintln!("unknown experiment `{which}`; see --help text in the module docs");
         std::process::exit(2);
     }
     eprintln!("\n(total experiment time: {:.1?})", t0.elapsed());
+    if let Some(path) = json_path {
+        if let Err(e) = write_json(&path) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("(per-run metrics written to {path})");
+    }
+}
+
+/// One machine-readable measurement: an experiment, a case label within
+/// it, wall time, and named numeric metrics.
+struct RunRecord {
+    experiment: &'static str,
+    case: String,
+    wall_ms: f64,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+/// Collected measurements of this process (appended as experiments run,
+/// drained by `write_json`).
+static REPORT: std::sync::Mutex<Vec<RunRecord>> = std::sync::Mutex::new(Vec::new());
+
+/// Appends one measurement to the report.
+fn record_run(
+    experiment: &'static str,
+    case: impl Into<String>,
+    wall_ms: f64,
+    metrics: &[(&'static str, f64)],
+) {
+    REPORT.lock().expect("report lock").push(RunRecord {
+        experiment,
+        case: case.into(),
+        wall_ms,
+        metrics: metrics.to_vec(),
+    });
+}
+
+/// Writes the report as JSON (hand-rolled: the workspace is offline and
+/// carries no serde).  All metric values are finite, so plain `{}`
+/// formatting yields valid JSON numbers.
+fn write_json(path: &str) -> std::io::Result<()> {
+    let esc = |s: &str| -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    };
+    let report = REPORT.lock().expect("report lock");
+    let mut body = String::from("{\n  \"schema\": \"kcz-bench-experiments/v1\",\n  \"runs\": [\n");
+    for (i, r) in report.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"case\": \"{}\", \"wall_ms\": {:.3}",
+            esc(r.experiment),
+            esc(&r.case),
+            r.wall_ms
+        ));
+        for (k, v) in &r.metrics {
+            body.push_str(&format!(", \"{}\": {}", esc(k), v));
+        }
+        body.push_str(if i + 1 == report.len() { "}\n" } else { "},\n" });
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body)
 }
 
 fn quality(coreset: &[Weighted<[f64; 2]>], direct_radius: f64, k: usize, z: u64) -> f64 {
@@ -111,9 +176,35 @@ fn t1_mpc() {
         let adv = concentrated_partition(&inst.points, &inst.outlier_flags, m);
         let rnd = random_partition(&inst.points, m, 7);
 
+        let t_run = std::time::Instant::now();
         let two = two_round(&L2, &adv, k, z, eps, &params);
+        let t_two = t_run.elapsed();
+        let t_run = std::time::Instant::now();
         let one = one_round_randomized(&L2, &rnd, k, z, eps, &params);
+        let t_one = t_run.elapsed();
+        let t_run = std::time::Instant::now();
         let base = ceccarello_one_round(&L2, &adv, k, z, eps, &params);
+        let t_base = t_run.elapsed();
+        for ((name, s), wall) in [
+            ("two_round", &two.output.stats),
+            ("one_round", &one.output.stats),
+            ("baseline", &base.stats),
+        ]
+        .into_iter()
+        .zip([t_two, t_one, t_base])
+        {
+            record_run(
+                "t1_mpc",
+                format!("z={z} {name}"),
+                wall.as_secs_f64() * 1e3,
+                &[
+                    ("worker_words", s.worker_peak_words as f64),
+                    ("coordinator_words", s.coordinator_peak_words as f64),
+                    ("comm_words", s.comm_words as f64),
+                    ("coreset_size", s.coreset_size as f64),
+                ],
+            );
+        }
         for (name, s, q) in [
             (
                 "2-round (here, adversarial)",
@@ -204,8 +295,22 @@ fn t1_stream() {
             let mut ours = InsertionOnlyCoreset::new(L2, k, z, eps);
             let mut cpp = ceccarello_stream(L2, k, z, eps);
             let mut mk = mk_doubling(L2, k, z);
+            let t_run = std::time::Instant::now();
             for p in &stream {
                 ours.insert(*p);
+            }
+            record_run(
+                "t1_stream",
+                format!("eps={eps} z={z}"),
+                t_run.elapsed().as_secs_f64() * 1e3,
+                &[
+                    ("points", stream.len() as f64),
+                    ("peak_words", ours.peak_words() as f64),
+                    ("rebuilds", ours.rebuilds() as f64),
+                    ("coreset_size", ours.coreset().len() as f64),
+                ],
+            );
+            for p in &stream {
                 cpp.insert(*p);
                 mk.insert(*p);
             }
@@ -337,7 +442,17 @@ fn f1_mbc() {
         "ε·r/3",
     ]);
     for &eps in &[0.25f64, 0.5, 1.0] {
+        let t_run = std::time::Instant::now();
         let mbc = mbc_construction(&L2, &weighted, k, z, eps);
+        record_run(
+            "f1_mbc",
+            format!("eps={eps}"),
+            t_run.elapsed().as_secs_f64() * 1e3,
+            &[
+                ("input", weighted.len() as f64),
+                ("coreset_size", mbc.len() as f64),
+            ],
+        );
         let cr = kcz_coreset::validate::covering_radius(&L2, &weighted, &mbc.reps).unwrap();
         t.row(vec![
             format!("{eps}"),
@@ -634,6 +749,17 @@ fn ablation() {
     let fast = kcz_coreset::update_coreset_grid(&weighted_big, delta);
     let t_fast = t0.elapsed();
     assert_eq!(naive.len(), fast.len(), "grid path must match generic path");
+    for (case, wall, reps) in [
+        ("partition_generic", t_naive, naive.len()),
+        ("partition_grid", t_fast, fast.len()),
+    ] {
+        record_run(
+            "ablation",
+            case,
+            wall.as_secs_f64() * 1e3,
+            &[("input", weighted_big.len() as f64), ("reps", reps as f64)],
+        );
+    }
     t.row(vec![
         "generic O(n²) sweep".into(),
         weighted_big.len().to_string(),

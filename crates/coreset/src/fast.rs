@@ -1,19 +1,19 @@
-//! Grid-accelerated mini-ball partitions for Euclidean points.
+//! Index-accelerated mini-ball partitions for Euclidean points.
 //!
 //! The generic [`crate::update_coreset`] is `O(n²)` in the worst case; for
-//! `L2` points a hash grid with cell side `δ` restricts each absorption
-//! scan to the `3^D` neighbouring cells, which is near-linear for
-//! realistic inputs.  The output is *identical* to the generic path —
-//! absorption is set-semantics over "unabsorbed points within δ", so
-//! candidate enumeration order cannot change the result — and the
+//! `L2` points a bucket-grid [`NeighborIndex`] with cell side `δ` restricts
+//! each absorption scan to the `3^D` neighbouring cells, which is
+//! near-linear for realistic inputs.  The output is *identical* to the
+//! generic path — absorption is set-semantics over "unabsorbed points
+//! within δ", both paths classify with the same deferred-`sqrt` predicate,
+//! and candidate enumeration order cannot change the result — and the
 //! equivalence is enforced by tests and the `ablation` experiment.
 
-use kcz_metric::grid::GridIndex;
-use kcz_metric::{MetricSpace, Weighted, L2};
+use kcz_metric::{GridBucketIndex, NeighborIndex, Weighted, L2};
 
 use crate::mbc::greedy_partition;
 
-/// Grid-accelerated `UpdateCoreset(Q, δ)` for Euclidean points under `L2`.
+/// Index-accelerated `UpdateCoreset(Q, δ)` for Euclidean points under `L2`.
 /// Produces exactly the same output as
 /// [`crate::update_coreset`]`(&L2, points, delta)`.
 pub fn update_coreset_grid<const D: usize>(
@@ -25,13 +25,31 @@ pub fn update_coreset_grid<const D: usize>(
         // Degenerate cell side, or too small to amortise index setup.
         return greedy_partition(&L2, points, delta);
     }
-    let n = points.len();
-    let mut index = GridIndex::<D>::new(delta);
+    let mut index = GridBucketIndex::<D>::new(delta);
     for (i, wp) in points.iter().enumerate() {
         index.insert(&wp.point, i);
     }
+    absorb_sweep(points, delta, index)
+}
+
+/// The absorb sweep of Algorithm 4 over any [`NeighborIndex`]: each
+/// still-indexed point in input order becomes a representative, absorbs
+/// (and un-indexes) everything within `delta`, and aggregates the weights.
+///
+/// The index must already contain id `i` at `points[i].point` for every
+/// `i`.  Because absorbed ids are removed eagerly, every `within` query
+/// returns only live candidates — the pruning that makes the grid-backed
+/// index near-linear.
+pub fn absorb_sweep<P: Clone, I: NeighborIndex<P>>(
+    points: &[Weighted<P>],
+    delta: f64,
+    mut index: I,
+) -> Vec<Weighted<P>> {
+    let n = points.len();
+    debug_assert_eq!(index.len(), n, "index must hold every input id");
     let mut absorbed = vec![false; n];
-    let mut reps: Vec<Weighted<[f64; D]>> = Vec::new();
+    let mut reps: Vec<Weighted<P>> = Vec::new();
+    let mut near: Vec<usize> = Vec::new();
     for i in 0..n {
         if absorbed[i] {
             continue;
@@ -39,23 +57,14 @@ pub fn update_coreset_grid<const D: usize>(
         absorbed[i] = true;
         index.remove(&points[i].point, i);
         let mut weight = points[i].weight;
-        let mut taken: Vec<usize> = Vec::new();
-        index.for_each_near(&points[i].point, |j| {
-            if !absorbed[j] && L2.dist(&points[i].point, &points[j].point) <= delta {
-                taken.push(j);
-            }
-        });
-        for j in taken {
-            // `for_each_near` may visit an index once per bucket cell, so
-            // guard against double-absorption.
-            if !absorbed[j] {
-                absorbed[j] = true;
-                index.remove(&points[j].point, j);
-                weight = weight.saturating_add(points[j].weight);
-            }
+        index.within(&points[i].point, delta, &mut near);
+        for &j in &near {
+            absorbed[j] = true;
+            index.remove(&points[j].point, j);
+            weight = weight.saturating_add(points[j].weight);
         }
         reps.push(Weighted {
-            point: points[i].point,
+            point: points[i].point.clone(),
             weight,
         });
     }
@@ -66,6 +75,7 @@ pub fn update_coreset_grid<const D: usize>(
 mod tests {
     use super::*;
     use crate::update_coreset;
+    use kcz_metric::BruteForceIndex;
 
     fn pseudo_random_points(n: usize, seed: u64) -> Vec<Weighted<[f64; 2]>> {
         let mut s = seed | 1;
@@ -92,6 +102,26 @@ mod tests {
                     assert_eq!(a.point, b.point, "seed={seed} δ={delta}");
                     assert_eq!(a.weight, b.weight, "seed={seed} δ={delta}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_index_sweep_matches_grid_sweep() {
+        // The same sweep over either NeighborIndex implementation produces
+        // the same partition — the abstraction does not leak into results.
+        let pts = pseudo_random_points(400, 11);
+        for delta in [0.75f64, 5.0] {
+            let mut brute = BruteForceIndex::new(L2);
+            for (i, wp) in pts.iter().enumerate() {
+                brute.insert(&wp.point, i);
+            }
+            let via_brute = absorb_sweep(&pts, delta, brute);
+            let via_grid = update_coreset_grid(&pts, delta);
+            assert_eq!(via_brute.len(), via_grid.len(), "δ={delta}");
+            for (a, b) in via_brute.iter().zip(&via_grid) {
+                assert_eq!(a.point, b.point, "δ={delta}");
+                assert_eq!(a.weight, b.weight, "δ={delta}");
             }
         }
     }

@@ -33,6 +33,6 @@ pub mod validate;
 
 pub use bounds::{mbc_size_bound, streaming_capacity};
 pub use compose::union_coverings;
-pub use fast::update_coreset_grid;
+pub use fast::{absorb_sweep, update_coreset_grid};
 pub use mbc::{mbc_construction, mbc_construction_with, MiniBallCovering};
 pub use update::update_coreset;

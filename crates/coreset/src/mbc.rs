@@ -93,31 +93,46 @@ pub fn mbc_construction_with<P: Clone, M: MetricSpace<P>>(
 /// input order; every point not yet absorbed becomes a representative and
 /// absorbs all remaining points within `delta` of it.
 ///
-/// `O(n²)` in the worst case, `O(n·|output|)` in general.
+/// `O(n²)` in the worst case, `O(n·|output|)` in general.  Each round is
+/// one batched [`MetricSpace::within_indices`] ball query (deferred
+/// `sqrt`) over the still-live points, which are kept compacted so no
+/// distance to an already-absorbed point is ever computed.
 pub(crate) fn greedy_partition<P: Clone, M: MetricSpace<P>>(
     metric: &M,
     points: &[Weighted<P>],
     delta: f64,
 ) -> Vec<Weighted<P>> {
-    let n = points.len();
-    let mut absorbed = vec![false; n];
+    let mut live_pts: Vec<P> = points.iter().map(|wp| wp.point.clone()).collect();
+    let mut live_w: Vec<u64> = points.iter().map(|wp| wp.weight).collect();
     let mut reps: Vec<Weighted<P>> = Vec::new();
-    for i in 0..n {
-        if absorbed[i] {
-            continue;
+    let mut near: Vec<usize> = Vec::new();
+    while !live_pts.is_empty() {
+        let rep = live_pts[0].clone();
+        metric.within_indices(&rep, &live_pts, delta, &mut near);
+        // `near` is ascending and starts with 0 (the representative itself,
+        // at distance 0); guard against metrics that violate identity.
+        if near.first() != Some(&0) {
+            near.insert(0, 0);
         }
-        absorbed[i] = true;
-        let mut weight = points[i].weight;
-        for j in (i + 1)..n {
-            if !absorbed[j] && metric.dist(&points[i].point, &points[j].point) <= delta {
-                absorbed[j] = true;
-                weight = weight.saturating_add(points[j].weight);
+        let mut weight = 0u64;
+        for &j in &near {
+            weight = weight.saturating_add(live_w[j]);
+        }
+        // Order-preserving compaction dropping the absorbed positions.
+        let mut keep = 0usize;
+        let mut ni = 0usize;
+        for j in 0..live_pts.len() {
+            if ni < near.len() && near[ni] == j {
+                ni += 1;
+                continue;
             }
+            live_pts.swap(keep, j);
+            live_w.swap(keep, j);
+            keep += 1;
         }
-        reps.push(Weighted {
-            point: points[i].point.clone(),
-            weight,
-        });
+        live_pts.truncate(keep);
+        live_w.truncate(keep);
+        reps.push(Weighted { point: rep, weight });
     }
     reps
 }

@@ -97,10 +97,9 @@ pub fn covering_radius<P, M: MetricSpace<P>>(
     }
     let mut worst = 0.0f64;
     for p in original {
-        let d = coreset
-            .iter()
-            .map(|q| metric.dist(&p.point, &q.point))
-            .fold(f64::INFINITY, f64::min);
+        let (_, d) = metric
+            .nearest_weighted(&p.point, coreset)
+            .expect("coreset checked non-empty above");
         worst = worst.max(d);
     }
     Some(worst)

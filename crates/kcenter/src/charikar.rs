@@ -14,6 +14,11 @@
 //! of pairwise distances (the classical formulation); for large inputs we
 //! binary-search a geometric grid with resolution `1+η`, degrading the
 //! guarantee to `3(1+η)·opt` (substitution #2 in `DESIGN.md`).
+//!
+//! All distance work routes through the batched [`MetricSpace`] kernels:
+//! the distance matrix is filled row-by-row with `dist_many`, and the
+//! matrix-free path answers ball queries with `cover_weight` /
+//! `within_indices` (deferred `sqrt`) instead of per-point `dist` calls.
 
 use kcz_metric::{MetricSpace, Weighted};
 
@@ -89,29 +94,10 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
     assert!(k > 0, "k must be positive when weight must be covered");
 
     let weights: Vec<u64> = points.iter().map(|p| p.weight).collect();
+    let pts: Vec<P> = points.iter().map(|p| p.point.clone()).collect();
+    let oracle = DistOracle::new(metric, &pts, n <= params.matrix_max_n);
 
-    // Distance oracle: full matrix for small inputs, on-the-fly otherwise.
-    let matrix: Option<Vec<f64>> = if n <= params.matrix_max_n {
-        let mut m = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = metric.dist(&points[i].point, &points[j].point);
-                m[i * n + j] = d;
-                m[j * n + i] = d;
-            }
-        }
-        Some(m)
-    } else {
-        None
-    };
-    let dist = |i: usize, j: usize| -> f64 {
-        match &matrix {
-            Some(m) => m[i * n + j],
-            None => metric.dist(&points[i].point, &points[j].point),
-        }
-    };
-
-    let candidates = candidate_radii(&dist, n, params);
+    let candidates = candidate_radii(&oracle, params);
     debug_assert!(!candidates.is_empty());
 
     // Feasibility is monotone in r for the guarantee's purposes: the
@@ -121,7 +107,7 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
     let mut best: Option<(usize, Vec<usize>)> = None;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        match disk_greedy(&dist, &weights, k, z, candidates[mid]) {
+        match disk_greedy(&oracle, &weights, k, z, candidates[mid]) {
             Some(centers) => {
                 best = Some((mid, centers));
                 if mid == 0 {
@@ -137,7 +123,7 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
     let (idx, center_idx) = best.unwrap_or_else(|| {
         // The diameter guess must succeed; recompute defensively.
         let last = candidates.len() - 1;
-        let c = disk_greedy(&dist, &weights, k, z, candidates[last])
+        let c = disk_greedy(&oracle, &weights, k, z, candidates[last])
             .expect("diameter-radius guess must be feasible");
         (last, c)
     });
@@ -158,33 +144,133 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
     }
 }
 
+/// Distance oracle behind the greedy's hot loops: a full matrix (filled
+/// row-by-row with `dist_many`) for small inputs, the batched
+/// deferred-`sqrt` kernels on the raw points otherwise.
+///
+/// The two modes answer ball queries with the same point sets except at
+/// sub-ulp ties (the deferred-`sqrt` contract of [`MetricSpace`]); within
+/// one mode all queries are mutually consistent, which is what the
+/// incremental gain maintenance in [`disk_greedy`] relies on.
+struct DistOracle<'a, P, M> {
+    metric: &'a M,
+    pts: &'a [P],
+    matrix: Option<Vec<f64>>,
+}
+
+impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
+    fn new(metric: &'a M, pts: &'a [P], use_matrix: bool) -> Self {
+        let n = pts.len();
+        let matrix = use_matrix.then(|| {
+            let mut m = Vec::with_capacity(n * n);
+            let mut row = Vec::new();
+            for p in pts {
+                metric.dist_many(p, pts, &mut row);
+                m.extend_from_slice(&row);
+            }
+            m
+        });
+        DistOracle {
+            metric,
+            pts,
+            matrix,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Distances from point `i` to every point, as a slice (matrix row or
+    /// freshly computed into `scratch`).
+    fn row<'b>(&'b self, i: usize, scratch: &'b mut Vec<f64>) -> &'b [f64] {
+        match &self.matrix {
+            Some(m) => {
+                let n = self.pts.len();
+                &m[i * n..(i + 1) * n]
+            }
+            None => {
+                self.metric.dist_many(&self.pts[i], self.pts, scratch);
+                scratch
+            }
+        }
+    }
+
+    /// Total weight within distance `r` of point `i`.
+    fn cover_weight(&self, i: usize, weights: &[u64], r: f64) -> u64 {
+        match &self.matrix {
+            Some(m) => {
+                let n = self.pts.len();
+                let row = &m[i * n..(i + 1) * n];
+                let mut total = 0u64;
+                for (&d, &w) in row.iter().zip(weights) {
+                    if d <= r {
+                        total = total.saturating_add(w);
+                    }
+                }
+                total
+            }
+            None => self.metric.cover_weight(&self.pts[i], self.pts, weights, r),
+        }
+    }
+
+    /// Ascending indices of all points within distance `r` of point `i`.
+    fn within_row(&self, i: usize, r: f64, out: &mut Vec<usize>) {
+        match &self.matrix {
+            Some(m) => {
+                let n = self.pts.len();
+                out.clear();
+                for (j, &d) in m[i * n..(i + 1) * n].iter().enumerate() {
+                    if d <= r {
+                        out.push(j);
+                    }
+                }
+            }
+            None => self.metric.within_indices(&self.pts[i], self.pts, r, out),
+        }
+    }
+}
+
 /// Candidate radii for the binary search, ascending, first element `0`.
-fn candidate_radii(
-    dist: &impl Fn(usize, usize) -> f64,
-    n: usize,
+fn candidate_radii<P, M: MetricSpace<P>>(
+    oracle: &DistOracle<'_, P, M>,
     params: &GreedyParams,
 ) -> Vec<f64> {
+    let n = oracle.len();
+    let mut scratch = Vec::new();
     if n <= params.exact_candidates_max_n {
         let mut c = Vec::with_capacity(n * (n - 1) / 2 + 1);
         c.push(0.0);
         for i in 0..n {
-            for j in (i + 1)..n {
-                c.push(dist(i, j));
-            }
+            let row = oracle.row(i, &mut scratch);
+            c.extend_from_slice(&row[i + 1..]);
         }
         c.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN distances"));
         c.dedup();
         c
     } else {
         // Upper bound on the diameter: 2 × the eccentricity of point 0.
-        let ecc = (1..n).map(|j| dist(0, j)).fold(0.0f64, f64::max);
+        let ecc = oracle
+            .row(0, &mut scratch)
+            .iter()
+            .fold(0.0f64, |m, &d| m.max(d));
         let hi = (2.0 * ecc).max(f64::MIN_POSITIVE);
-        // Lower bound: smallest positive distance within a sample.
+        // Lower bound: smallest positive distance within a sample.  In
+        // matrix mode the distances already sit in the matrix rows; the
+        // matrix-free mode computes suffix rows against the sample prefix.
         let sample = 512.min(n);
         let mut lo = f64::INFINITY;
+        let mut row = Vec::new();
         for i in 0..sample {
-            for j in (i + 1)..sample {
-                let d = dist(i, j);
+            let suffix: &[f64] = if oracle.matrix.is_some() {
+                &oracle.row(i, &mut scratch)[i + 1..sample]
+            } else {
+                oracle
+                    .metric
+                    .dist_many(&oracle.pts[i], &oracle.pts[i + 1..sample], &mut row);
+                &row
+            };
+            for &d in suffix {
                 if d > 0.0 && d < lo {
                     lo = d;
                 }
@@ -209,9 +295,10 @@ fn candidate_radii(
 /// greedily pick up to `k` disk centers; return their indices if the
 /// uncovered weight ends up ≤ `z`.
 ///
-/// `O(n²)` total: gains are maintained incrementally as points get covered.
-fn disk_greedy(
-    dist: &impl Fn(usize, usize) -> f64,
+/// `O(n²)` total: gains are initialized with one batched ball query per
+/// point and maintained incrementally as points get covered.
+fn disk_greedy<P, M: MetricSpace<P>>(
+    oracle: &DistOracle<'_, P, M>,
     weights: &[u64],
     k: usize,
     z: u64,
@@ -221,17 +308,10 @@ fn disk_greedy(
     let mut covered = vec![false; n];
     let mut uncovered_total: u64 = weights.iter().sum();
     // gain[p] = uncovered weight within distance r of p.
-    let mut gain: Vec<u64> = vec![0; n];
-    for (p, gp) in gain.iter_mut().enumerate() {
-        let mut g = 0u64;
-        for (q, &wq) in weights.iter().enumerate() {
-            if dist(p, q) <= r {
-                g += wq;
-            }
-        }
-        *gp = g;
-    }
+    let mut gain: Vec<u64> = (0..n).map(|p| oracle.cover_weight(p, weights, r)).collect();
     let mut centers = Vec::with_capacity(k);
+    let mut ball = Vec::new();
+    let mut shrink = Vec::new();
     for _ in 0..k {
         if uncovered_total <= z {
             break;
@@ -246,15 +326,15 @@ fn disk_greedy(
             break;
         }
         centers.push(best);
-        for q in 0..n {
-            if !covered[q] && dist(best, q) <= 3.0 * r {
+        oracle.within_row(best, 3.0 * r, &mut ball);
+        for &q in &ball {
+            if !covered[q] {
                 covered[q] = true;
                 uncovered_total -= weights[q];
                 // q leaves every gain it contributed to.
-                for (p, gp) in gain.iter_mut().enumerate() {
-                    if dist(p, q) <= r {
-                        *gp -= weights[q];
-                    }
+                oracle.within_row(q, r, &mut shrink);
+                for &p in &shrink {
+                    gain[p] -= weights[q];
                 }
             }
         }

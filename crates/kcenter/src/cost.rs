@@ -7,6 +7,12 @@ use kcz_metric::{MetricSpace, Weighted};
 /// This is the outlier weight of the solution `(centers, r)`; the solution
 /// is feasible for the k-center problem with `z` outliers iff the result is
 /// at most `z`.
+///
+/// Classification is boundary-exact: callers routinely pass a radius that
+/// *is* some point's computed distance (e.g. the output of
+/// [`cost_with_outliers`]), so the test compares the batched
+/// [`MetricSpace::nearest`] distance — which equals the scalar `dist`
+/// exactly — rather than a deferred-`sqrt` ball predicate.
 pub fn uncovered_weight<P, M: MetricSpace<P>>(
     metric: &M,
     points: &[Weighted<P>],
@@ -15,7 +21,9 @@ pub fn uncovered_weight<P, M: MetricSpace<P>>(
 ) -> u64 {
     let mut total = 0u64;
     for wp in points {
-        let covered = centers.iter().any(|c| metric.dist(&wp.point, c) <= r);
+        let covered = metric
+            .nearest(&wp.point, centers)
+            .is_some_and(|(_, d)| d <= r);
         if !covered {
             total = total.saturating_add(wp.weight);
         }
@@ -47,14 +55,15 @@ pub fn cost_with_outliers<P, M: MetricSpace<P>>(
         "no centers given but {} weight must be covered",
         total - z
     );
-    // Distance of every point to its nearest center, paired with weight.
+    // Distance of every point to its nearest center (batched kernel; the
+    // returned distance equals the scalar `dist` exactly), paired with
+    // weight.
     let mut dists: Vec<(f64, u64)> = points
         .iter()
         .map(|wp| {
-            let d = centers
-                .iter()
-                .map(|c| metric.dist(&wp.point, c))
-                .fold(f64::INFINITY, f64::min);
+            let (_, d) = metric
+                .nearest(&wp.point, centers)
+                .expect("centers checked non-empty above");
             (d, wp.weight)
         })
         .collect();

@@ -39,18 +39,21 @@ pub fn farthest_first<P: Clone, M: MetricSpace<P>>(
         };
     }
     let start = start % points.len();
+    let pts: Vec<P> = points.iter().map(|wp| wp.point.clone()).collect();
     let mut centers = Vec::with_capacity(k.min(points.len()));
     let mut center_indices = Vec::with_capacity(k.min(points.len()));
     let mut nearest = vec![f64::INFINITY; points.len()];
+    let mut row = Vec::new();
 
     let mut next = start;
     loop {
-        let c = points[next].point.clone();
+        let c = pts[next].clone();
         center_indices.push(next);
-        for (i, wp) in points.iter().enumerate() {
-            let d = metric.dist(&wp.point, &c);
-            if d < nearest[i] {
-                nearest[i] = d;
+        // One batched one-to-many kernel call per selected center.
+        metric.dist_many(&c, &pts, &mut row);
+        for (slot, &d) in nearest.iter_mut().zip(&row) {
+            if d < *slot {
+                *slot = d;
             }
         }
         centers.push(c);

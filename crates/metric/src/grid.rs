@@ -1,167 +1,75 @@
-//! Bucket grid index over Euclidean points.
+//! Shared hash-grid bucket helpers.
 //!
 //! The greedy mini-ball construction (Algorithm 1) and the streaming
 //! insertion test (Algorithm 3, line 1) both repeatedly ask "which stored
 //! points lie within distance `δ` of `q`?".  For Euclidean points a hash
 //! grid with cell side `δ` answers this by scanning the `3^D` neighbouring
 //! cells, turning the `O(n²)` constructions into near-linear ones for
-//! realistic inputs.  The index is an *accelerator only* — every caller has
-//! a metric-agnostic fallback path, and tests assert both paths agree.
+//! realistic inputs.  The index itself lives in [`crate::index`]
+//! ([`crate::index::GridBucketIndex`], behind the
+//! [`crate::index::NeighborIndex`] abstraction); this module holds the two
+//! key computations it is built on.
 
-use std::collections::HashMap;
-
-/// A hash grid over `[f64; D]` points with a fixed cell side.
-///
-/// Stores indices into a caller-owned point array.
-#[derive(Debug, Clone)]
-pub struct GridIndex<const D: usize> {
-    cell: f64,
-    buckets: HashMap<[i64; D], Vec<usize>>,
+/// Bucket key of `p` in a grid with the given cell side.
+pub(crate) fn cell_key<const D: usize>(p: &[f64; D], cell: f64) -> [i64; D] {
+    let mut k = [0i64; D];
+    for i in 0..D {
+        k[i] = (p[i] / cell).floor() as i64;
+    }
+    k
 }
 
-impl<const D: usize> GridIndex<D> {
-    /// Creates an empty index with the given cell side (must be positive
-    /// and finite).
-    pub fn new(cell: f64) -> Self {
-        assert!(cell.is_finite() && cell > 0.0, "cell side must be positive");
-        GridIndex {
-            cell,
-            buckets: HashMap::new(),
-        }
-    }
-
-    /// Cell side used by the index.
-    pub fn cell_side(&self) -> f64 {
-        self.cell
-    }
-
-    fn key(&self, p: &[f64; D]) -> [i64; D] {
-        let mut k = [0i64; D];
+/// Visits the `3^D` bucket keys within one cell of `center` in every axis
+/// (odometer over `{-1, 0, 1}^D`; all keys are distinct).  Any point whose
+/// coordinate-wise difference from a query is below the cell side in every
+/// axis lies in one of the visited buckets.
+pub(crate) fn for_each_neighbor_key<const D: usize>(center: [i64; D], mut f: impl FnMut([i64; D])) {
+    let mut offset = [-1i64; D];
+    loop {
+        let mut key = center;
         for i in 0..D {
-            k[i] = (p[i] / self.cell).floor() as i64;
+            key[i] += offset[i];
         }
-        k
-    }
-
-    /// Inserts the point with external index `idx`.
-    pub fn insert(&mut self, p: &[f64; D], idx: usize) {
-        self.buckets.entry(self.key(p)).or_default().push(idx);
-    }
-
-    /// Removes one occurrence of `idx` from the bucket of `p`.
-    /// Returns whether the index was present.
-    pub fn remove(&mut self, p: &[f64; D], idx: usize) -> bool {
-        let key = self.key(p);
-        if let Some(b) = self.buckets.get_mut(&key) {
-            if let Some(pos) = b.iter().position(|&i| i == idx) {
-                b.swap_remove(pos);
-                if b.is_empty() {
-                    self.buckets.remove(&key);
-                }
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Calls `f` for every stored index whose bucket lies within one cell of
-    /// `p`'s bucket in every axis.  Any point within distance `cell` of `p`
-    /// (under `L2` or `L∞`) is guaranteed to be visited; callers still
-    /// filter by exact distance.
-    pub fn for_each_near(&self, p: &[f64; D], mut f: impl FnMut(usize)) {
-        let center = self.key(p);
-        let mut offset = [-1i64; D];
-        loop {
-            let mut key = center;
-            for i in 0..D {
-                key[i] += offset[i];
-            }
-            if let Some(bucket) = self.buckets.get(&key) {
-                for &idx in bucket {
-                    f(idx);
-                }
-            }
-            // Odometer increment over {-1,0,1}^D.
-            let mut carry = true;
-            for slot in offset.iter_mut() {
-                if *slot < 1 {
-                    *slot += 1;
-                    carry = false;
-                    break;
-                }
-                *slot = -1;
-            }
-            if carry {
+        f(key);
+        // Odometer increment over {-1,0,1}^D.
+        let mut carry = true;
+        for slot in offset.iter_mut() {
+            if *slot < 1 {
+                *slot += 1;
+                carry = false;
                 break;
             }
+            *slot = -1;
         }
-    }
-
-    /// Collects all candidate indices near `p` (see [`Self::for_each_near`]).
-    pub fn near(&self, p: &[f64; D]) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.for_each_near(p, |i| out.push(i));
-        out
-    }
-
-    /// Number of stored indices.
-    pub fn len(&self) -> usize {
-        self.buckets.values().map(Vec::len).sum()
-    }
-
-    /// Whether the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
+        if carry {
+            break;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MetricSpace, L2};
 
     #[test]
-    fn finds_all_points_within_cell_distance() {
-        let pts: Vec<[f64; 2]> = (0..100)
-            .map(|i| [(i % 10) as f64 * 0.3, (i / 10) as f64 * 0.3])
-            .collect();
-        let mut idx = GridIndex::new(0.5);
-        for (i, p) in pts.iter().enumerate() {
-            idx.insert(p, i);
-        }
-        let q = [1.0, 1.0];
-        let near = idx.near(&q);
-        // Every point within 0.5 of q must be among the candidates.
-        for (i, p) in pts.iter().enumerate() {
-            if L2.dist(p, &q) <= 0.5 {
-                assert!(near.contains(&i), "missed point {i} at {p:?}");
+    fn neighbor_keys_cover_3_to_the_d() {
+        let mut seen = Vec::new();
+        for_each_neighbor_key([0i64, 0], |k| seen.push(k));
+        assert_eq!(seen.len(), 9);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 9, "keys must be distinct");
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                assert!(seen.contains(&[dx, dy]));
             }
         }
     }
 
     #[test]
-    fn remove_works() {
-        let mut idx = GridIndex::<2>::new(1.0);
-        idx.insert(&[0.1, 0.1], 7);
-        assert_eq!(idx.len(), 1);
-        assert!(idx.remove(&[0.1, 0.1], 7));
-        assert!(!idx.remove(&[0.1, 0.1], 7));
-        assert!(idx.is_empty());
-    }
-
-    #[test]
-    fn negative_coordinates() {
-        let mut idx = GridIndex::<2>::new(1.0);
-        idx.insert(&[-0.5, -0.5], 0);
-        idx.insert(&[0.4, 0.4], 1);
-        let near = idx.near(&[0.0, 0.0]);
-        assert!(near.contains(&0));
-        assert!(near.contains(&1));
-    }
-
-    #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_cell_rejected() {
-        let _ = GridIndex::<2>::new(0.0);
+    fn cell_key_handles_negative_coordinates() {
+        assert_eq!(cell_key(&[-0.5, 0.4], 1.0), [-1, 0]);
+        assert_eq!(cell_key(&[0.0, 0.0], 1.0), [0, 0]);
+        assert_eq!(cell_key(&[2.5, -3.5], 0.5), [5, -7]);
     }
 }

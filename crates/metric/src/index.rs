@@ -1,0 +1,404 @@
+//! Pruned neighbor queries: the [`NeighborIndex`] abstraction.
+//!
+//! The mini-ball constructions (Algorithms 1 and 4) and the streaming
+//! absorb test (Algorithm 3, line 1) all ask the same two questions of a
+//! point set: *which stored points lie within distance `r` of `q`?*
+//! (`within`) and *is there any stored point within `r` of `q`?*
+//! (`absorb_candidate`).  This module turns the answer into an interface
+//! with two implementations:
+//!
+//! * [`GridBucketIndex`] — a hash-grid bucket index for Euclidean points
+//!   under [`L2`], built on the crate's shared cell-key helpers and
+//!   filtering by exact distance itself, near-linear for realistic
+//!   inputs;
+//! * [`BruteForceIndex`] — a metric-agnostic fallback that stores the
+//!   points contiguously and answers queries with the batched
+//!   [`MetricSpace`] kernels (vectorized, deferred-`sqrt`).
+//!
+//! Both implementations are *accelerators only*: they answer with exactly
+//! the same id sets (the deferred-`sqrt` contract of [`MetricSpace`]
+//! applies to both), so callers can pick by point type and input size
+//! without changing results.  Tests in `tests/kernels.rs` enforce the
+//! agreement.
+
+use crate::grid::{cell_key, for_each_neighbor_key};
+use crate::{MetricSpace, L2};
+use std::collections::HashMap;
+
+/// Dynamic set of `(id, point)` pairs supporting radius queries.
+///
+/// Ids are caller-chosen `usize` handles (typically indices into a
+/// caller-owned array); the same id may be inserted only once at a time.
+/// Query results carry no ordering guarantee and contain no duplicates.
+pub trait NeighborIndex<P> {
+    /// Inserts the point with external id `id`.
+    fn insert(&mut self, p: &P, id: usize);
+
+    /// Removes the entry for `id` located at `p`; returns whether it was
+    /// present.
+    fn remove(&mut self, p: &P, id: usize) -> bool;
+
+    /// Writes the ids of all stored points within distance `r` of `q` into
+    /// `out` (cleared first; unspecified order, no duplicates).
+    fn within(&self, q: &P, r: f64, out: &mut Vec<usize>);
+
+    /// Some stored id within distance `r` of `q`, if any — the absorb test
+    /// of Algorithm 3.  Which id is returned is unspecified when several
+    /// qualify.
+    fn absorb_candidate(&self, q: &P, r: f64) -> Option<usize>;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Metric-agnostic [`NeighborIndex`]: contiguous point storage scanned
+/// with the batched [`MetricSpace`] kernels.
+///
+/// `O(n)` per query, but the scan is the vectorized, deferred-`sqrt`
+/// kernel rather than one `dist` call per point — the right fallback
+/// whenever no geometric index applies (non-Euclidean metrics, tiny
+/// inputs, degenerate radii).
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex<P, M> {
+    metric: M,
+    pts: Vec<P>,
+    ids: Vec<usize>,
+}
+
+impl<P: Clone, M: MetricSpace<P>> BruteForceIndex<P, M> {
+    /// Creates an empty index over the given metric.
+    pub fn new(metric: M) -> Self {
+        BruteForceIndex {
+            metric,
+            pts: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+}
+
+impl<P: Clone, M: MetricSpace<P>> NeighborIndex<P> for BruteForceIndex<P, M> {
+    fn insert(&mut self, p: &P, id: usize) {
+        self.pts.push(p.clone());
+        self.ids.push(id);
+    }
+
+    fn remove(&mut self, _p: &P, id: usize) -> bool {
+        if let Some(pos) = self.ids.iter().position(|&i| i == id) {
+            self.pts.swap_remove(pos);
+            self.ids.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn within(&self, q: &P, r: f64, out: &mut Vec<usize>) {
+        self.metric.within_indices(q, &self.pts, r, out);
+        for slot in out.iter_mut() {
+            *slot = self.ids[*slot];
+        }
+    }
+
+    fn absorb_candidate(&self, q: &P, r: f64) -> Option<usize> {
+        self.metric
+            .find_within(q, &self.pts, r)
+            .map(|i| self.ids[i])
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Bucket-grid [`NeighborIndex`] for Euclidean points under `L2`.
+///
+/// Buckets store `(id, point)` pairs keyed by cells slightly wider than
+/// the maximum query radius; a query scans the `3^D` neighbouring cells
+/// and filters by the exact (deferred-`sqrt`) `L2` predicate.  Correct
+/// for query radii `r ≤ max_radius` — the constructor's argument — which
+/// queries assert.
+///
+/// The bucketing side is `max_radius · (1 + 1e-9)`: the *computed*
+/// distance can round below `r` for a pair whose coordinate difference
+/// exceeds `r` by a sub-ulp amount, which with exact-`r` cells could land
+/// the matching point two cells away (each endpoint an ulp across
+/// opposite boundaries) and out of the scanned neighbourhood.  The
+/// widened cell swallows that rounding slack, keeping the answer sets
+/// identical to [`BruteForceIndex`].
+#[derive(Debug, Clone)]
+pub struct GridBucketIndex<const D: usize> {
+    max_radius: f64,
+    bucket_cell: f64,
+    buckets: HashMap<[i64; D], Vec<(usize, [f64; D])>>,
+    len: usize,
+}
+
+impl<const D: usize> GridBucketIndex<D> {
+    /// Creates an empty index able to answer queries of radius at most
+    /// `max_radius` (must be positive and finite).
+    pub fn new(max_radius: f64) -> Self {
+        assert!(
+            max_radius.is_finite() && max_radius > 0.0,
+            "cell side must be positive"
+        );
+        GridBucketIndex {
+            max_radius,
+            bucket_cell: max_radius * (1.0 + 1e-9),
+            buckets: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Largest query radius this index answers.
+    pub fn max_radius(&self) -> f64 {
+        self.max_radius
+    }
+
+    /// Whether a query with radius `r` can return matches: NaN matches
+    /// nothing (like the kernel contract and [`BruteForceIndex`]), and an
+    /// oversized radius is caller misuse.
+    fn check_radius(&self, r: f64) -> bool {
+        if r.is_nan() {
+            return false;
+        }
+        assert!(
+            r <= self.max_radius,
+            "query radius {r} exceeds the index cell side {}",
+            self.max_radius
+        );
+        true
+    }
+}
+
+impl<const D: usize> NeighborIndex<[f64; D]> for GridBucketIndex<D> {
+    fn insert(&mut self, p: &[f64; D], id: usize) {
+        self.buckets
+            .entry(cell_key(p, self.bucket_cell))
+            .or_default()
+            .push((id, *p));
+        self.len += 1;
+    }
+
+    fn remove(&mut self, p: &[f64; D], id: usize) -> bool {
+        let key = cell_key(p, self.bucket_cell);
+        if let Some(b) = self.buckets.get_mut(&key) {
+            if let Some(pos) = b.iter().position(|&(i, _)| i == id) {
+                b.swap_remove(pos);
+                if b.is_empty() {
+                    self.buckets.remove(&key);
+                }
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn within(&self, q: &[f64; D], r: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if !self.check_radius(r) {
+            return;
+        }
+        for_each_neighbor_key(cell_key(q, self.bucket_cell), |key| {
+            if let Some(bucket) = self.buckets.get(&key) {
+                for &(id, p) in bucket {
+                    if L2.within(q, &p, r) {
+                        out.push(id);
+                    }
+                }
+            }
+        });
+    }
+
+    fn absorb_candidate(&self, q: &[f64; D], r: f64) -> Option<usize> {
+        if !self.check_radius(r) {
+            return None;
+        }
+        let mut found = None;
+        for_each_neighbor_key(cell_key(q, self.bucket_cell), |key| {
+            if found.is_some() {
+                return;
+            }
+            if let Some(bucket) = self.buckets.get(&key) {
+                for &(id, p) in bucket {
+                    if L2.within(q, &p, r) {
+                        found = Some(id);
+                        return;
+                    }
+                }
+            }
+        });
+        found
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<[f64; 2]> {
+        let mut s = seed | 1;
+        let mut unit = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| [unit() * 50.0, unit() * 50.0]).collect()
+    }
+
+    fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn grid_and_brute_force_agree() {
+        let pts = pseudo_random(300, 9);
+        let r = 2.5;
+        let mut grid = GridBucketIndex::<2>::new(r);
+        let mut brute = BruteForceIndex::new(L2);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(p, i);
+            brute.insert(p, i);
+        }
+        assert_eq!(grid.len(), brute.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for q in pseudo_random(40, 77) {
+            grid.within(&q, r, &mut a);
+            brute.within(&q, r, &mut b);
+            assert_eq!(sorted(a.clone()), sorted(b.clone()), "query {q:?}");
+            let ga = grid.absorb_candidate(&q, r);
+            let ba = brute.absorb_candidate(&q, r);
+            assert_eq!(ga.is_some(), ba.is_some(), "query {q:?}");
+            if let Some(id) = ga {
+                assert!(a.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn finds_all_points_within_radius() {
+        let pts: Vec<[f64; 2]> = (0..100)
+            .map(|i| [(i % 10) as f64 * 0.3, (i / 10) as f64 * 0.3])
+            .collect();
+        let mut idx = GridBucketIndex::<2>::new(0.5);
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(p, i);
+        }
+        let q = [1.0, 1.0];
+        let mut near = Vec::new();
+        idx.within(&q, 0.5, &mut near);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(
+                near.contains(&i),
+                L2.within(&q, p, 0.5),
+                "point {i} at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_are_neighbors() {
+        let mut idx = GridBucketIndex::<2>::new(1.0);
+        idx.insert(&[-0.5, -0.5], 0);
+        idx.insert(&[0.4, 0.4], 1);
+        let mut near = Vec::new();
+        idx.within(&[0.0, 0.0], 1.0, &mut near);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_rejected() {
+        let _ = GridBucketIndex::<2>::new(0.0);
+    }
+
+    #[test]
+    fn remove_shrinks_both() {
+        let pts = pseudo_random(20, 3);
+        let mut grid = GridBucketIndex::<2>::new(1.0);
+        let mut brute = BruteForceIndex::new(L2);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(p, i);
+            brute.insert(p, i);
+        }
+        assert!(grid.remove(&pts[7], 7));
+        assert!(!grid.remove(&pts[7], 7));
+        assert!(brute.remove(&pts[7], 7));
+        assert!(!brute.remove(&pts[7], 7));
+        assert_eq!(grid.len(), 19);
+        assert_eq!(brute.len(), 19);
+        let mut out = Vec::new();
+        grid.within(&pts[7], 0.0, &mut out);
+        assert!(!out.contains(&7));
+    }
+
+    #[test]
+    fn boundary_ulp_pair_not_missed() {
+        // q an ulp below a cell boundary, p exactly on the next one: the
+        // computed distance rounds to exactly r = 1.0 (ties-to-even), so
+        // the brute-force path matches; with exact-r cells the pair would
+        // straddle two boundaries and the grid would miss it.
+        let q = [1.0 - f64::EPSILON / 2.0, 0.0];
+        let p = [2.0, 0.0];
+        let r = 1.0;
+        assert!(L2.within(&q, &p, r), "precondition: pair matches scalar");
+        let mut grid = GridBucketIndex::<2>::new(r);
+        let mut brute = BruteForceIndex::new(L2);
+        grid.insert(&p, 0);
+        brute.insert(&p, 0);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        grid.within(&q, r, &mut a);
+        brute.within(&q, r, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0]);
+        assert_eq!(grid.absorb_candidate(&q, r), Some(0));
+    }
+
+    #[test]
+    fn nan_radius_matches_nothing_in_both() {
+        let mut grid = GridBucketIndex::<2>::new(1.0);
+        let mut brute = BruteForceIndex::new(L2);
+        grid.insert(&[0.0, 0.0], 0);
+        brute.insert(&[0.0, 0.0], 0);
+        let mut out = vec![99];
+        grid.within(&[0.0, 0.0], f64::NAN, &mut out);
+        assert!(out.is_empty());
+        brute.within(&[0.0, 0.0], f64::NAN, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(grid.absorb_candidate(&[0.0, 0.0], f64::NAN), None);
+        assert_eq!(brute.absorb_candidate(&[0.0, 0.0], f64::NAN), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the index cell side")]
+    fn oversized_radius_rejected() {
+        let mut grid = GridBucketIndex::<2>::new(1.0);
+        grid.insert(&[0.0, 0.0], 0);
+        let mut out = Vec::new();
+        grid.within(&[0.0, 0.0], 2.0, &mut out);
+    }
+
+    #[test]
+    fn empty_index_answers_nothing() {
+        let grid = GridBucketIndex::<2>::new(1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.absorb_candidate(&[0.0, 0.0], 1.0), None);
+        let brute = BruteForceIndex::<[f64; 2], _>::new(L2);
+        assert!(brute.is_empty());
+        assert_eq!(brute.absorb_candidate(&[0.0, 0.0], 1.0), None);
+    }
+}

@@ -12,9 +12,10 @@ use crate::MetricSpace;
 /// largest and smallest distance *between any two points*.
 pub fn min_pairwise_distance<P, M: MetricSpace<P>>(metric: &M, pts: &[P]) -> Option<f64> {
     let mut best: Option<f64> = None;
+    let mut row = Vec::new();
     for i in 0..pts.len() {
-        for j in (i + 1)..pts.len() {
-            let d = metric.dist(&pts[i], &pts[j]);
+        metric.dist_many(&pts[i], &pts[i + 1..], &mut row);
+        for &d in &row {
             if d > 0.0 && best.is_none_or(|b| d < b) {
                 best = Some(d);
             }
@@ -27,9 +28,10 @@ pub fn min_pairwise_distance<P, M: MetricSpace<P>>(metric: &M, pts: &[P]) -> Opt
 /// points.
 pub fn max_pairwise_distance<P, M: MetricSpace<P>>(metric: &M, pts: &[P]) -> Option<f64> {
     let mut best: Option<f64> = None;
+    let mut row = Vec::new();
     for i in 0..pts.len() {
-        for j in (i + 1)..pts.len() {
-            let d = metric.dist(&pts[i], &pts[j]);
+        metric.dist_many(&pts[i], &pts[i + 1..], &mut row);
+        for &d in &row {
             if best.is_none_or(|b| d > b) {
                 best = Some(d);
             }

@@ -1,0 +1,203 @@
+//! Property tests for the batched distance kernels and the
+//! [`NeighborIndex`] implementations: on all four metrics the batched
+//! paths must agree with the scalar `dist`, including the deferred-`sqrt`
+//! paths at `r = 0` and at exactly representable ties.
+
+use kcz_metric::{
+    BruteForceIndex, GridBucketIndex, GridL2, GridLinf, Linf, MetricSpace, NeighborIndex, Weighted,
+    L2,
+};
+use proptest::prelude::*;
+
+/// Checks every batched kernel of `metric` against the scalar `dist` on
+/// one (query, point-set, radius) instance.
+fn check_kernels<P: Clone + std::fmt::Debug, M: MetricSpace<P>>(
+    metric: &M,
+    q: &P,
+    pts: &[P],
+    r: f64,
+) -> Result<(), TestCaseError> {
+    let scalar: Vec<f64> = pts.iter().map(|p| metric.dist(q, p)).collect();
+
+    // dist_many returns exactly the scalar distances (sqrt deferred, not
+    // skipped).
+    let mut batched = Vec::new();
+    metric.dist_many(q, pts, &mut batched);
+    prop_assert_eq!(&batched, &scalar);
+
+    // nearest: the distance is the scalar minimum, exactly.
+    let nearest = metric.nearest(q, pts);
+    match nearest {
+        None => prop_assert!(pts.is_empty()),
+        Some((i, d)) => {
+            prop_assert_eq!(d, scalar[i]);
+            prop_assert!(scalar.iter().all(|&s| d <= s));
+        }
+    }
+
+    // within-family kernels agree with the scalar predicate.  (Random
+    // coordinates never land within one ulp of the radius; the exact-tie
+    // cases are covered by the deterministic tests below.)
+    let expect: Vec<bool> = scalar.iter().map(|&d| d <= r).collect();
+    for (i, p) in pts.iter().enumerate() {
+        prop_assert_eq!(metric.within(q, p, r), expect[i], "point {}", i);
+    }
+    let n_within = expect.iter().filter(|&&b| b).count();
+    prop_assert_eq!(metric.count_within(q, pts, r), n_within);
+    prop_assert_eq!(
+        metric.find_within(q, pts, r),
+        expect.iter().position(|&b| b)
+    );
+    let mut idx = Vec::new();
+    metric.within_indices(q, pts, r, &mut idx);
+    let expect_idx: Vec<usize> = (0..pts.len()).filter(|&i| expect[i]).collect();
+    prop_assert_eq!(&idx, &expect_idx);
+
+    // Weighted variants and the cover-weight kernels.
+    let weights: Vec<u64> = (0..pts.len()).map(|i| 1 + (i as u64 % 5)).collect();
+    let expect_cover: u64 = expect_idx.iter().map(|&i| weights[i]).sum();
+    prop_assert_eq!(metric.cover_weight(q, pts, &weights, r), expect_cover);
+    let weighted: Vec<Weighted<P>> = pts
+        .iter()
+        .zip(&weights)
+        .map(|(p, &w)| Weighted::new(p.clone(), w))
+        .collect();
+    prop_assert_eq!(
+        metric.find_within_weighted(q, &weighted, r),
+        expect.iter().position(|&b| b)
+    );
+    match metric.nearest_weighted(q, &weighted) {
+        None => prop_assert!(pts.is_empty()),
+        Some((i, d)) => prop_assert_eq!(d, scalar[i]),
+    }
+
+    // argmax_cover_weight: its winner's cover is the maximum over the
+    // per-candidate scalar covers.
+    if let Some((best, cover)) = metric.argmax_cover_weight(pts, pts, &weights, r) {
+        prop_assert_eq!(cover, metric.cover_weight(&pts[best], pts, &weights, r));
+        for c in pts {
+            prop_assert!(metric.cover_weight(c, pts, &weights, r) <= cover);
+        }
+    } else {
+        prop_assert!(pts.is_empty());
+    }
+    Ok(())
+}
+
+fn euclid_pts(max_n: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| [x, y]).collect())
+}
+
+fn grid_pts(max_n: usize) -> impl Strategy<Value = Vec<[u64; 2]>> {
+    prop::collection::vec((0u64..1000, 0u64..1000), 0..max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| [x, y]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        rng_seed: 0xBA7C_4ED1,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn l2_kernels_agree(pts in euclid_pts(40), qx in -100.0f64..100.0,
+                        qy in -100.0f64..100.0, r in 0.0f64..150.0) {
+        check_kernels(&L2, &[qx, qy], &pts, r)?;
+    }
+
+    #[test]
+    fn linf_kernels_agree(pts in euclid_pts(40), qx in -100.0f64..100.0,
+                          qy in -100.0f64..100.0, r in 0.0f64..150.0) {
+        check_kernels(&Linf, &[qx, qy], &pts, r)?;
+    }
+
+    #[test]
+    fn grid_l2_kernels_agree(pts in grid_pts(40), qx in 0u64..1000,
+                             qy in 0u64..1000, r in 0.0f64..800.0) {
+        check_kernels(&GridL2, &[qx, qy], &pts, r)?;
+    }
+
+    #[test]
+    fn grid_linf_kernels_agree(pts in grid_pts(40), qx in 0u64..1000,
+                               qy in 0u64..1000, r in 0.0f64..800.0) {
+        check_kernels(&GridLinf, &[qx, qy], &pts, r)?;
+    }
+
+    #[test]
+    fn zero_radius_with_duplicates(pts in euclid_pts(20), dup in 0usize..20) {
+        // r = 0 must match exactly the duplicates of q, on every metric.
+        if pts.is_empty() { return Ok(()); }
+        let q = pts[dup % pts.len()];
+        let n_dup = pts.iter().filter(|p| **p == q).count();
+        prop_assert_eq!(L2.count_within(&q, &pts, 0.0), n_dup);
+        prop_assert_eq!(Linf.count_within(&q, &pts, 0.0), n_dup);
+        check_kernels(&L2, &q, &pts, 0.0)?;
+        check_kernels(&Linf, &q, &pts, 0.0)?;
+    }
+
+    #[test]
+    fn neighbor_indexes_agree(pts in euclid_pts(60), qx in -100.0f64..100.0,
+                              qy in -100.0f64..100.0, r in 0.01f64..40.0) {
+        let mut grid = GridBucketIndex::<2>::new(r);
+        let mut brute = BruteForceIndex::new(L2);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(p, i);
+            brute.insert(p, i);
+        }
+        let q = [qx, qy];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        grid.within(&q, r, &mut a);
+        brute.within(&q, r, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(&a, &b);
+        // Both also agree with the raw kernel over the point array.
+        let mut c = Vec::new();
+        L2.within_indices(&q, &pts, r, &mut c);
+        prop_assert_eq!(&a, &c);
+        // The absorb test is consistent with the within set.
+        let ga = grid.absorb_candidate(&q, r);
+        let ba = brute.absorb_candidate(&q, r);
+        prop_assert_eq!(ga.is_some(), !a.is_empty());
+        prop_assert_eq!(ba.is_some(), !a.is_empty());
+        if let Some(id) = ga { prop_assert!(a.contains(&id)); }
+        if let Some(id) = ba { prop_assert!(a.contains(&id)); }
+    }
+}
+
+/// Exactly representable ties: a 3-4-5 configuration where `dist² ≤ r²`
+/// and `dist ≤ r` are both exact, on all four metrics.
+#[test]
+fn deferred_sqrt_exact_ties() {
+    let q = [0.0f64, 0.0];
+    let pts = [[3.0, 4.0], [4.0, 3.0], [5.0, 0.0], [3.0, 4.0000001]];
+    assert_eq!(L2.count_within(&q, &pts, 5.0), 3);
+    let mut idx = Vec::new();
+    L2.within_indices(&q, &pts, 5.0, &mut idx);
+    assert_eq!(idx, vec![0, 1, 2]);
+    assert_eq!(Linf.count_within(&q, &pts, 4.0), 2);
+
+    let gq = [0u64, 0];
+    let gpts = [[3u64, 4], [5, 0], [4, 4]];
+    assert_eq!(GridL2.count_within(&gq, &gpts, 5.0), 2);
+    assert_eq!(GridLinf.count_within(&gq, &gpts, 4.0), 2);
+    // r = 0 with exact duplicates.
+    assert_eq!(GridL2.count_within(&gq, &[[0u64, 0], [1, 0]], 0.0), 1);
+    assert_eq!(L2.find_within(&q, &[[0.0, 0.0]], 0.0), Some(0));
+}
+
+/// The grid index answers exactly at its maximum radius (points exactly
+/// `cell` away live in a neighbouring bucket and must be found).
+#[test]
+fn grid_index_exact_at_cell_boundary() {
+    let mut grid = GridBucketIndex::<2>::new(2.0);
+    grid.insert(&[2.0, 0.0], 0); // exactly r away from the query
+    grid.insert(&[2.0000001, 0.0], 1); // just outside
+    let mut out = Vec::new();
+    grid.within(&[0.0, 0.0], 2.0, &mut out);
+    assert_eq!(out, vec![0]);
+    assert_eq!(grid.absorb_candidate(&[0.0, 0.0], 2.0), Some(0));
+}

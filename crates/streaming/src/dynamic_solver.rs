@@ -52,6 +52,15 @@ impl<const D: usize> DynamicKCenter<D> {
         }
     }
 
+    /// Overrides the tuning of the query-time greedy (candidate-set and
+    /// distance-matrix thresholds).  The greedy itself runs entirely on
+    /// the batched distance kernels of `kcz-metric`, so queries stay fast
+    /// even when the coreset approaches its `O(k/ε^d + z)` size bound.
+    pub fn with_params(mut self, params: GreedyParams) -> Self {
+        self.params = params;
+        self
+    }
+
     /// Inserts a point.
     pub fn insert(&mut self, p: &[u64; D]) {
         self.sketch.insert(p);

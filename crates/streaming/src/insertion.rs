@@ -114,16 +114,12 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
         assert!(w > 0, "weights must be positive integers");
         self.n_seen += w;
         let threshold = self.absorb * self.r;
-        // Line 1–2: absorb into a representative within a·r.
-        let mut absorbed = false;
-        for q in &mut self.reps {
-            if self.metric.dist(&p, &q.point) <= threshold {
-                q.weight = q.weight.saturating_add(w);
-                absorbed = true;
-                break;
-            }
-        }
-        if !absorbed {
+        // Line 1–2: absorb into a representative within a·r — one batched
+        // find-first-within kernel over the representative array (deferred
+        // sqrt, early exit on the first hit).
+        if let Some(i) = self.metric.find_within_weighted(&p, &self.reps, threshold) {
+            self.reps[i].weight = self.reps[i].weight.saturating_add(w);
+        } else {
             // Line 4: new representative.
             self.reps.push(Weighted::new(p, w));
             // Line 5–7: establish the initial radius from the minimum
@@ -143,17 +139,12 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
         self.peak_words = self.peak_words.max(self.space_words());
     }
 
+    /// Smallest positive pairwise distance among the representatives,
+    /// computed with one batched row kernel per point.  Called only at
+    /// radius establishment (line 5–7) and on pre-radius merges.
     fn min_pairwise(&self) -> Option<f64> {
-        let mut best: Option<f64> = None;
-        for i in 0..self.reps.len() {
-            for j in (i + 1)..self.reps.len() {
-                let d = self.metric.dist(&self.reps[i].point, &self.reps[j].point);
-                if d > 0.0 && best.is_none_or(|b| d < b) {
-                    best = Some(d);
-                }
-            }
-        }
-        best
+        let pts: Vec<P> = self.reps.iter().map(|w| w.point.clone()).collect();
+        kcz_metric::stats::min_pairwise_distance(&self.metric, &pts)
     }
 
     /// The current coreset `P*`.

@@ -156,7 +156,8 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
             let absorb = self.eps * g.rho / 4.0;
             let mut placed = false;
             for c in &mut g.clusters {
-                if self.metric.dist(&c.anchor, &p) <= absorb {
+                // Pruned radius predicate (deferred sqrt / early exit).
+                if self.metric.within(&c.anchor, &p, absorb) {
                     c.pts.push_back((now, p.clone()));
                     if c.pts.len() > keep {
                         c.pts.pop_front();

@@ -37,7 +37,8 @@ const USAGE: &str = "usage:
   kcz solve   --input <csv> --k <K> --z <Z> [--eps <EPS>]
   kcz stream  --input <csv> --k <K> --z <Z> --eps <EPS>
   kcz mpc     --input <csv> --k <K> --z <Z> --eps <EPS> --machines <M>
-              [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]";
+              [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]
+  (all subcommands accept --metric l2|linf; the default is l2)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
@@ -55,11 +56,30 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("--k must be at least 1".into());
     }
 
-    match cmd.as_str() {
+    // Every algorithm is generic over the metric; dispatch once here.
+    match flags.get("metric").map(String::as_str) {
+        None | Some("l2") => run_with_metric(L2, cmd, &flags, &points, k, z),
+        Some("linf") => run_with_metric(Linf, cmd, &flags, &points, k, z),
+        Some(other) => Err(format!("--metric must be l2 or linf, got `{other}`")),
+    }
+}
+
+/// Runs one subcommand under the chosen metric (the whole pipeline —
+/// coreset constructions, solvers, streaming, MPC — routes through the
+/// batched `MetricSpace` kernels of the chosen metric).
+fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
+    metric: M,
+    cmd: &str,
+    flags: &HashMap<String, String>,
+    points: &[Weighted<[f64; 2]>],
+    k: usize,
+    z: u64,
+) -> Result<(), String> {
+    match cmd {
         "coreset" => {
-            let eps = parse_eps(&flags)?;
+            let eps = parse_eps(flags)?;
             let t0 = std::time::Instant::now();
-            let mbc = mbc_construction(&L2, &points, k, z, eps);
+            let mbc = mbc_construction(&metric, points, k, z, eps);
             eprintln!(
                 "coreset: {} -> {} representatives in {:.1?} (greedy radius {:.4})",
                 points.len(),
@@ -79,13 +99,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "solve" => {
             let summary: Vec<Weighted<[f64; 2]>> = match flags.get("eps") {
                 Some(_) => {
-                    let eps = parse_eps(&flags)?;
-                    mbc_construction(&L2, &points, k, z, eps).reps
+                    let eps = parse_eps(flags)?;
+                    mbc_construction(&metric, points, k, z, eps).reps
                 }
-                None => points.clone(),
+                None => points.to_vec(),
             };
             let t0 = std::time::Instant::now();
-            let sol = greedy(&L2, &summary, k, z);
+            let sol = greedy(&metric, &summary, k, z);
             println!("radius: {:.6}", sol.radius);
             println!("uncovered_weight: {}", sol.uncovered);
             for c in &sol.centers {
@@ -99,14 +119,14 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "stream" => {
-            let eps = parse_eps(&flags)?;
-            let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
-            for p in &points {
+            let eps = parse_eps(flags)?;
+            let mut alg = InsertionOnlyCoreset::new(metric, k, z, eps);
+            for p in points {
                 for _ in 0..p.weight {
                     alg.insert(p.point);
                 }
             }
-            let sol = greedy(&L2, alg.coreset(), k, z);
+            let sol = greedy(&metric, alg.coreset(), k, z);
             println!(
                 "points: {}  coreset: {}  peak_words: {}  rebuilds: {}  radius: {:.6}",
                 alg.points_seen(),
@@ -118,8 +138,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "mpc" => {
-            let eps = parse_eps(&flags)?;
-            let m: usize = parse(&flags, "machines")?;
+            let eps = parse_eps(flags)?;
+            let m: usize = parse(flags, "machines")?;
             if m == 0 {
                 return Err("--machines must be at least 1".into());
             }
@@ -129,19 +149,19 @@ fn run(args: &[String]) -> Result<(), String> {
             let default_alg = "two_round".to_string();
             let alg = flags.get("algorithm").unwrap_or(&default_alg);
             let out = match alg.as_str() {
-                "two_round" => two_round(&L2, &parts, k, z, eps, &params).output,
-                "one_round" => one_round_randomized(&L2, &parts, k, z, eps, &params).output,
+                "two_round" => two_round(&metric, &parts, k, z, eps, &params).output,
+                "one_round" => one_round_randomized(&metric, &parts, k, z, eps, &params).output,
                 "rround" => {
                     let rounds: usize = match flags.get("rounds") {
-                        Some(_) => parse(&flags, "rounds")?,
+                        Some(_) => parse(flags, "rounds")?,
                         None => 2,
                     };
                     if rounds == 0 {
                         return Err("--rounds must be at least 1".into());
                     }
-                    r_round(&L2, &parts, k, z, eps, rounds, &params)
+                    r_round(&metric, &parts, k, z, eps, rounds, &params)
                 }
-                "baseline" => ceccarello_one_round(&L2, &parts, k, z, eps, &params),
+                "baseline" => ceccarello_one_round(&metric, &parts, k, z, eps, &params),
                 other => return Err(format!("unknown --algorithm {other}")),
             };
             let s = &out.stats;
@@ -155,7 +175,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 s.comm_words,
                 s.coreset_size
             );
-            let sol = greedy(&L2, &out.coreset, k, z);
+            let sol = greedy(&metric, &out.coreset, k, z);
             println!(
                 "radius: {:.6}  effective_eps: {:.3}",
                 sol.radius, out.effective_eps

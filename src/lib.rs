@@ -15,9 +15,9 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`metric`] | points, metrics ([`metric::L2`], [`metric::Linf`], grids), weighted sets, storage accounting |
-//! | [`kcenter`] | offline solvers: Charikar-et-al. greedy 3-approximation, Gonzalez, exact ground truth |
-//! | [`coreset`] | mini-ball coverings: `MBCConstruction` (Alg. 1), `UpdateCoreset` (Alg. 4), composition lemmas, validators |
+//! | [`metric`] | points, metrics ([`metric::L2`], [`metric::Linf`], grids), **batched distance kernels** (`dist_many`, `nearest`, `count_within`, … with deferred-`sqrt` overrides), pruned neighbor queries ([`metric::index::NeighborIndex`]: grid-bucket + brute-force), weighted sets, storage accounting |
+//! | [`kcenter`] | offline solvers: Charikar-et-al. greedy 3-approximation, Gonzalez, exact ground truth — hot loops on the batched kernels |
+//! | [`coreset`] | mini-ball coverings: `MBCConstruction` (Alg. 1), `UpdateCoreset` (Alg. 4), index-accelerated sweeps, composition lemmas, validators |
 //! | [`mpc`] | MPC simulator + the 2-round (Alg. 2), randomized 1-round (Alg. 6), R-round (Alg. 7) algorithms and the CPP19 baseline |
 //! | [`streaming`] | insertion-only (Alg. 3), fully dynamic (Alg. 5), sliding-window structures and streaming baselines |
 //! | [`sketch`] | turnstile substrates: s-sparse recovery, F₀ estimation with deletions |

@@ -189,6 +189,42 @@ fn solve_golden_output_on_committed_fixture() {
 }
 
 #[test]
+fn solve_golden_output_linf_metric() {
+    // Same committed fixture under --metric linf: the unit squares have
+    // corner-to-centroid distance exactly 0.5 under L∞ (vs √2/2 under
+    // L2), so the pinned radius certifies the metric actually switched.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let out = kcz()
+        .args([
+            "solve", "--input", fixture, "--k", "2", "--z", "1", "--metric", "linf",
+        ])
+        .output()
+        .expect("run kcz");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout,
+        "radius: 0.500000\n\
+         uncovered_weight: 1\n\
+         center: 100.5,100.5\n\
+         center: 0.5,0.5\n"
+    );
+    // --metric l2 must reproduce the default golden output byte-for-byte.
+    let explicit = kcz()
+        .args([
+            "solve", "--input", fixture, "--k", "2", "--z", "1", "--metric", "l2",
+        ])
+        .output()
+        .expect("run kcz");
+    assert!(explicit.status.success());
+    assert!(String::from_utf8_lossy(&explicit.stdout).starts_with("radius: 0.707107\n"));
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let dir = std::env::temp_dir().join("kcz_cli_bad");
     std::fs::create_dir_all(&dir).unwrap();
@@ -295,6 +331,16 @@ fn bad_inputs_fail_cleanly() {
                 "0",
             ],
             "--rounds must be at least 1",
+        ),
+        (
+            vec!["solve", "--k", "1", "--z", "0", "--metric", "manhattan"],
+            "--metric must be l2 or linf",
+        ),
+        (
+            vec![
+                "stream", "--k", "1", "--z", "0", "--eps", "0.5", "--metric", "",
+            ],
+            "--metric must be l2 or linf",
         ),
     ] {
         let mut cmd = kcz();
