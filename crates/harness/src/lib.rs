@@ -1,0 +1,27 @@
+//! Cross-model conformance harness for the k-center-with-outliers suite.
+//!
+//! The paper's central claim is that its streaming and MPC algorithms
+//! match the offline `(3+ε)`-approximation.  This crate makes that claim
+//! *executable*: one [`Scenario`] catalog (benign blobs plus adversarial
+//! annuli, two-scale clusters, duplicate mass, colinear sets, outlier
+//! bursts, drift-with-churn), one [`Pipeline`] trait adapting every
+//! solver — offline Charikar/Gonzalez, insertion-only, sliding-window,
+//! fully dynamic, and the four MPC algorithms — to a single
+//! `run(scenario) → Verdict` surface, and a judge
+//! ([`run_conformance`] / [`ConformanceReport::violations`]) that checks
+//! every verdict's radius against the exact discrete optimum and the
+//! per-algorithm ratio bound from the paper.
+//!
+//! The facade exposes this as `kcz conformance [--tier smoke|full]
+//! [--json <path>]`; CI runs the smoke tier on every push and fails on
+//! any ratio-bound violation.
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod report;
+pub mod scenario;
+
+pub use pipeline::{all_pipelines, Model, Pipeline, RadiusBound, Verdict};
+pub use report::{exact_radius, run_conformance, within_bound, ConformanceReport, ScenarioReport};
+pub use scenario::{catalog, snap_to_grid, Scenario, Tier, SIDE_BITS};

@@ -1,0 +1,393 @@
+//! The shared scenario catalog: every conformance scenario is one
+//! concrete `(points, k, z, ε)` instance that *all* pipelines run on.
+//!
+//! Catalog invariants, relied on by the [`crate::pipeline`] adapters:
+//!
+//! * coordinates are **integer-valued** `f64`s inside `[0, 2^side_bits)`,
+//!   so the fully dynamic pipeline (which lives on the discrete universe
+//!   `[Δ]²` of Section 5) sees bit-for-bit the same point multiset as the
+//!   continuous pipelines;
+//! * `points` is in **stream order** — insertion-only and sliding-window
+//!   structures consume it as-is, the MPC adapters partition it
+//!   round-robin, the offline solvers ignore order;
+//! * scenarios with `oracle = true` are small enough for
+//!   [`kcz_kcenter::exact_discrete`] over the distinct points
+//!   (`C(n_distinct, k)` within the solver's work bound), so the harness
+//!   can assert each pipeline's paper ratio bound against ground truth.
+
+use kcz_metric::{unit_weighted, Weighted};
+use kcz_workloads::{
+    annulus, colinear, drifting_stream, duplicate_heavy, gaussian_clusters, outlier_burst,
+    two_scale_clusters,
+};
+
+/// Which slice of the catalog to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Small-`n`, oracle-checked scenarios only (< 60 s; CI runs this).
+    Smoke,
+    /// Smoke plus the large-`n` scenarios (cross-checked pairwise, no
+    /// exact oracle).
+    Full,
+}
+
+/// One conformance scenario: a workload every pipeline must handle.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable identifier (used in reports and goldens).
+    pub name: &'static str,
+    /// What the scenario stresses.
+    pub description: &'static str,
+    /// The point multiset, in stream order.  Integer-valued coordinates
+    /// in `[0, 2^side_bits)`.
+    pub points: Vec<[f64; 2]>,
+    /// Number of centers.
+    pub k: usize,
+    /// Outlier budget (weight).
+    pub z: u64,
+    /// Coreset accuracy parameter handed to every coreset pipeline.
+    pub eps: f64,
+    /// Machine count for the MPC adapters.
+    pub machines: usize,
+    /// Round count for the R-round MPC adapter.
+    pub rounds: usize,
+    /// Discrete-universe side bits for the fully dynamic adapter
+    /// (`side_bits · 2 ≤ 63`; every coordinate is `< 2^side_bits`).
+    pub side_bits: u32,
+    /// Whether `exact_discrete` ground truth is feasible (small `n`).
+    pub oracle: bool,
+    /// Seed the scenario's generators were run with.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The points as a unit-weighted set (the form the solvers consume).
+    pub fn weighted(&self) -> Vec<Weighted<[f64; 2]>> {
+        unit_weighted(&self.points)
+    }
+
+    /// Distinct points (candidate centers for the exact oracle).
+    pub fn distinct_points(&self) -> Vec<[f64; 2]> {
+        let mut keys: Vec<[u64; 2]> = self
+            .points
+            .iter()
+            .map(|p| [p[0].to_bits(), p[1].to_bits()])
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.iter()
+            .map(|k| [f64::from_bits(k[0]), f64::from_bits(k[1])])
+            .collect()
+    }
+
+    /// Number of points (`n`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the scenario is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Universe side bits shared by the whole catalog.
+pub const SIDE_BITS: u32 = 16;
+
+/// Translates the point set into the positive quadrant (margin 8) and
+/// rounds every coordinate to the nearest integer, clamped into
+/// `[0, 2^SIDE_BITS)` — the canonical form the catalog invariants demand.
+///
+/// Rounding happens at *generation* time, so every pipeline sees the same
+/// (already snapped) instance; conformance never compares a rounded run
+/// against an unrounded one.
+pub fn snap_to_grid(points: &[[f64; 2]]) -> Vec<[f64; 2]> {
+    let side = (1u64 << SIDE_BITS) as f64;
+    let (mut lo_x, mut lo_y) = (f64::INFINITY, f64::INFINITY);
+    for p in points {
+        lo_x = lo_x.min(p[0]);
+        lo_y = lo_y.min(p[1]);
+    }
+    points
+        .iter()
+        .map(|p| {
+            [
+                (p[0] - lo_x + 8.0).round().clamp(0.0, side - 1.0),
+                (p[1] - lo_y + 8.0).round().clamp(0.0, side - 1.0),
+            ]
+        })
+        .collect()
+}
+
+/// Planted-outlier count of a [`drifting_stream`] output: the generator
+/// places outliers at `y ≥ 10⁴·σ` while cluster points stay near `y ≈ 0`
+/// (see `kcz_workloads::streams`), so thresholding at the midpoint
+/// `5·10³·σ` classifies them exactly.  Shared by the smoke and full
+/// catalogs so the scenario's `z` cannot drift out of sync with the
+/// generator.
+fn drift_outlier_count(raw: &[[f64; 2]], sigma: f64) -> u64 {
+    raw.iter().filter(|p| p[1] >= 5e3 * sigma).count() as u64
+}
+
+fn scenario(
+    name: &'static str,
+    description: &'static str,
+    raw: Vec<[f64; 2]>,
+    k: usize,
+    z: u64,
+    oracle: bool,
+    seed: u64,
+) -> Scenario {
+    assert!(k >= 1, "scenario {name}: k must be at least 1");
+    Scenario {
+        name,
+        description,
+        points: snap_to_grid(&raw),
+        k,
+        z,
+        eps: 0.5,
+        machines: 4,
+        rounds: 2,
+        side_bits: SIDE_BITS,
+        oracle,
+        seed,
+    }
+}
+
+/// The catalog.  `Tier::Smoke` returns the oracle-checked scenarios only;
+/// `Tier::Full` appends the large-`n` ones.
+pub fn catalog(tier: Tier) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // 1. Well-separated Gaussian blobs with planted far outliers: the
+    //    benign baseline every pipeline should ace.
+    let inst = gaussian_clusters::<2>(3, 18, 6.0, 4, 0xA1);
+    out.push(scenario(
+        "gaussian_blobs",
+        "3 separated Gaussian clusters + 4 planted far outliers",
+        inst.points,
+        3,
+        4,
+        true,
+        0xA1,
+    ));
+
+    // 2. Ring around a core blob: the continuous optimum center sits in
+    //    the annulus hole, maximizing the discrete-center gap.
+    let mut ring = annulus(28, [800.0, 800.0], 300.0, 320.0, 0xA2);
+    ring.extend(annulus(20, [800.0, 800.0], 0.0, 6.0, 0xA2 ^ 1));
+    ring.extend([[3600.0, 3600.0], [100.0, 3900.0], [3900.0, 200.0]]);
+    out.push(scenario(
+        "annulus_core",
+        "ring + central blob + 3 far outliers (discrete-center gap)",
+        ring,
+        2,
+        3,
+        true,
+        0xA2,
+    ));
+
+    // 3. Two clusters at wildly different scales: a single granularity
+    //    derived from the wrong scale breaks naive coresets.
+    let mut ts = two_scale_clusters(20, 20, 3.0, 150.0, 2500.0, 0xA3);
+    ts.extend([[6000.0, 500.0], [500.0, 6000.0]]);
+    out.push(scenario(
+        "two_scale",
+        "tight cluster (r=3) + wide cluster (r=150) + 2 outliers",
+        ts,
+        2,
+        2,
+        true,
+        0xA3,
+    ));
+
+    // 4. Heavy duplicate mass: 6 distinct sites × 10 copies.  Streaming
+    //    structures must merge duplicates while r = 0; any site's weight
+    //    (10) exceeds z (5), so no site may be discarded wholesale.
+    out.push(scenario(
+        "duplicate_mass",
+        "6 distinct sites, 10 copies each; every site outweighs z",
+        duplicate_heavy(6, 10, 400.0, 0xA4),
+        2,
+        5,
+        true,
+        0xA4,
+    ));
+
+    // 5. Colinear points: degenerate 1-D geometry with maximal greedy
+    //    tie-breaking, plus off-line outliers.
+    let mut line = colinear(56, [100.0, 500.0], [30.0, 0.0]);
+    line.extend([[900.0, 4100.0], [950.0, 4100.0], [1000.0, 4200.0]]);
+    out.push(scenario(
+        "colinear",
+        "56 evenly spaced points on a line + 3 off-line outliers",
+        line,
+        3,
+        3,
+        true,
+        0xA5,
+    ));
+
+    // 6. Outlier burst: all z outliers arrive consecutively mid-stream —
+    //    the adversarial arrival order for streaming structures.
+    out.push(scenario(
+        "outlier_burst",
+        "two clusters; 6 consecutive far outliers at stream position 25",
+        outlier_burst(54, 6, 25, 4.0, 0xA6),
+        2,
+        6,
+        true,
+        0xA6,
+    ));
+
+    // 7. Drift with churn: cluster centers advance every arrival, with
+    //    occasional far outliers.  z is the planted outlier count.
+    let raw = drifting_stream(60, 2, 2.0, 1.5, 0.07, 0xA7);
+    let z_drift = drift_outlier_count(&raw, 2.0);
+    out.push(scenario(
+        "drift_churn",
+        "2 drifting clusters over 60 arrivals + rate-0.07 outliers",
+        raw,
+        2,
+        z_drift,
+        true,
+        0xA7,
+    ));
+
+    // 8. All points identical: opt = 0; every pipeline must answer
+    //    exactly 0 without establishing a radius.
+    out.push(scenario(
+        "identical_points",
+        "40 copies of one point; opt = 0 in every model",
+        vec![[700.0, 900.0]; 40],
+        2,
+        3,
+        true,
+        0xA8,
+    ));
+
+    // 9. k = 1 with a single disk cluster + 2 outliers.
+    let mut disk = annulus(40, [400.0, 400.0], 0.0, 12.0, 0xA9);
+    disk.extend([[3000.0, 300.0], [200.0, 3200.0]]);
+    out.push(scenario(
+        "single_cluster_k1",
+        "one disk cluster, k=1, 2 far outliers",
+        disk,
+        1,
+        2,
+        true,
+        0xA9,
+    ));
+
+    // 10. z ≥ n: the whole input fits in the outlier budget; radius 0
+    //     and an empty (or trivial) solution everywhere.
+    out.push(scenario(
+        "budget_swallows_all",
+        "20 points, z = 25 ≥ n: defined zero-radius answer required",
+        colinear(20, [100.0, 100.0], [50.0, 7.0]),
+        2,
+        25,
+        true,
+        0xAA,
+    ));
+
+    if tier == Tier::Full {
+        let inst = gaussian_clusters::<2>(5, 300, 4.0, 20, 0xB1);
+        out.push(scenario(
+            "large_gaussian",
+            "5 clusters × 300 points + 20 outliers (no oracle)",
+            inst.points,
+            5,
+            20,
+            false,
+            0xB1,
+        ));
+
+        let raw = drifting_stream(1600, 3, 2.0, 1.0, 0.01, 0xB2);
+        let z_drift = drift_outlier_count(&raw, 2.0);
+        out.push(scenario(
+            "large_drift",
+            "3 drifting clusters over 1600 arrivals (no oracle)",
+            raw,
+            3,
+            z_drift,
+            false,
+            0xB2,
+        ));
+
+        out.push(scenario(
+            "large_duplicates",
+            "40 sites × 50 copies (n=2000, 40 distinct; no oracle)",
+            duplicate_heavy(40, 50, 150.0, 0xB3),
+            4,
+            30,
+            false,
+            0xB3,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic_and_snapped() {
+        let a = catalog(Tier::Full);
+        let b = catalog(Tier::Full);
+        assert_eq!(a.len(), b.len());
+        let side = (1u64 << SIDE_BITS) as f64;
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.points, sb.points, "{}", sa.name);
+            for p in &sa.points {
+                for &c in p {
+                    assert_eq!(c, c.round(), "{}: non-integer coord {c}", sa.name);
+                    assert!((0.0..side).contains(&c), "{}: {c} out of range", sa.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_tier_is_oracle_only_and_large_enough() {
+        let smoke = catalog(Tier::Smoke);
+        assert!(smoke.len() >= 8, "need ≥ 8 smoke scenarios");
+        for sc in &smoke {
+            assert!(sc.oracle, "{} must be oracle-checkable", sc.name);
+            assert!(sc.k >= 1);
+        }
+        let full = catalog(Tier::Full);
+        assert!(full.len() > smoke.len());
+        assert!(full.iter().any(|s| !s.oracle));
+    }
+
+    #[test]
+    fn distinct_points_dedups() {
+        let sc = catalog(Tier::Smoke)
+            .into_iter()
+            .find(|s| s.name == "duplicate_mass")
+            .unwrap();
+        assert_eq!(sc.len(), 60);
+        assert_eq!(sc.distinct_points().len(), 6);
+        let ident = catalog(Tier::Smoke)
+            .into_iter()
+            .find(|s| s.name == "identical_points")
+            .unwrap();
+        assert_eq!(ident.distinct_points().len(), 1);
+    }
+
+    #[test]
+    fn drift_scenario_has_planted_outliers() {
+        let sc = catalog(Tier::Smoke)
+            .into_iter()
+            .find(|s| s.name == "drift_churn")
+            .unwrap();
+        assert!(
+            sc.z >= 1,
+            "drift scenario should plant at least one outlier"
+        );
+        assert!(sc.z < sc.len() as u64 / 2);
+    }
+}

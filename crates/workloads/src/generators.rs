@@ -115,6 +115,152 @@ pub fn gaussian_clusters<const D: usize>(
     }
 }
 
+/// `n` points uniform in the annulus `r_inner ≤ ‖p − center‖ ≤ r_outer`
+/// (area-uniform, so the ring is not over-dense near the inner radius).
+///
+/// With `r_inner = 0` this degenerates to a uniform disk, which is handy
+/// for building blob-plus-ring composites.  An annulus is adversarial for
+/// center-based methods: the optimal 1-center sits in the hole, far from
+/// every input point, so discrete-center solvers pay their full factor-2
+/// gap against the continuous optimum.
+pub fn annulus(n: usize, center: [f64; 2], r_inner: f64, r_outer: f64, seed: u64) -> Vec<[f64; 2]> {
+    assert!(0.0 <= r_inner && r_inner <= r_outer && r_outer > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo2, hi2) = (r_inner * r_inner, r_outer * r_outer);
+    (0..n)
+        .map(|_| {
+            let r2 = if hi2 > lo2 {
+                rng.random_range(lo2..hi2)
+            } else {
+                lo2
+            };
+            let r = r2.sqrt();
+            let theta = rng.random_range(0.0..std::f64::consts::TAU);
+            [center[0] + r * theta.cos(), center[1] + r * theta.sin()]
+        })
+        .collect()
+}
+
+/// Two clusters at wildly different scales: a tight cluster of radius
+/// `tight_radius` at the origin-ish and a wide cluster of radius
+/// `wide_radius` at distance `separation` — the classic trap for a single
+/// global granularity (`ε·r` derived from the wide scale merges the tight
+/// cluster into one point; derived from the tight scale it blows up the
+/// wide cluster's covering).  Points alternate tight/wide in stream order.
+pub fn two_scale_clusters(
+    n_tight: usize,
+    n_wide: usize,
+    tight_radius: f64,
+    wide_radius: f64,
+    separation: f64,
+    seed: u64,
+) -> Vec<[f64; 2]> {
+    assert!(tight_radius >= 0.0 && wide_radius >= 0.0 && separation > 0.0);
+    let tight = annulus(
+        n_tight,
+        [0.0, 0.0],
+        0.0,
+        tight_radius.max(1e-9),
+        seed ^ 0x71,
+    );
+    let wide = annulus(
+        n_wide,
+        [separation, 0.0],
+        0.0,
+        wide_radius.max(1e-9),
+        seed ^ 0x72,
+    );
+    let mut out = Vec::with_capacity(n_tight + n_wide);
+    let (mut ti, mut wi) = (tight.into_iter(), wide.into_iter());
+    loop {
+        match (ti.next(), wi.next()) {
+            (None, None) => break,
+            (t, w) => out.extend(t.into_iter().chain(w)),
+        }
+    }
+    out
+}
+
+/// A duplicate-heavy multiset: `locations` distinct sites on a jittered
+/// grid with spacing `spacing`, each repeated `copies` times, in a
+/// deterministic shuffled arrival order.  Exercises the `r = 0` /
+/// min-pairwise-establishment paths of every streaming structure and the
+/// weighted outlier budgeting of the offline solvers (a site's mass can
+/// exceed `z`, forcing coverage).
+pub fn duplicate_heavy(locations: usize, copies: usize, spacing: f64, seed: u64) -> Vec<[f64; 2]> {
+    assert!(locations >= 1 && copies >= 1 && spacing > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_row = (locations as f64).sqrt().ceil() as usize;
+    let sites: Vec<[f64; 2]> = (0..locations)
+        .map(|i| {
+            let jx: f64 = rng.random_range(-0.1..0.1);
+            let jy: f64 = rng.random_range(-0.1..0.1);
+            [
+                (i % per_row) as f64 * spacing + jx * spacing,
+                (i / per_row) as f64 * spacing + jy * spacing,
+            ]
+        })
+        .collect();
+    let mut out: Vec<[f64; 2]> = Vec::with_capacity(locations * copies);
+    for s in &sites {
+        out.extend(std::iter::repeat_n(*s, copies));
+    }
+    crate::streams::shuffled(&out, seed ^ 0xD0B1)
+}
+
+/// `n` evenly spaced points on the line `origin + i·step` — degenerate
+/// one-dimensional geometry embedded in R², where every pairwise distance
+/// is a multiple of `‖step‖` and greedy tie-breaking is maximally
+/// contested.
+pub fn colinear(n: usize, origin: [f64; 2], step: [f64; 2]) -> Vec<[f64; 2]> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            [origin[0] + t * step[0], origin[1] + t * step[1]]
+        })
+        .collect()
+}
+
+/// A stream of `n` arrivals from two unit-ish clusters with a consecutive
+/// burst of `z` far outliers injected starting at stream position
+/// `burst_at`: the adversarial arrival order for streaming structures,
+/// which must absorb the whole outlier mass at once without evicting
+/// cluster state.  Positions `burst_at..burst_at+z` are the outliers; the
+/// caller knows exactly which arrivals are noise.
+pub fn outlier_burst(n: usize, z: usize, burst_at: usize, sigma: f64, seed: u64) -> Vec<[f64; 2]> {
+    assert!(
+        z <= n && burst_at <= n - z,
+        "burst must fit inside the stream"
+    );
+    assert!(sigma > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let cluster_arrival = |rng: &mut StdRng, i: usize| {
+        let c = if i.is_multiple_of(2) {
+            0.0
+        } else {
+            60.0 * sigma
+        };
+        [c + sigma * gaussian(rng), 0.5 * c + sigma * gaussian(rng)]
+    };
+    for i in 0..burst_at {
+        let p = cluster_arrival(&mut rng, i);
+        out.push(p);
+    }
+    for j in 0..z {
+        // Outliers far from both clusters and from each other.
+        out.push([
+            500.0 * sigma + (j as f64) * 120.0 * sigma,
+            -400.0 * sigma - (j as f64) * 90.0 * sigma,
+        ]);
+    }
+    for i in burst_at + z..n {
+        let p = cluster_arrival(&mut rng, i);
+        out.push(p);
+    }
+    out
+}
+
 /// `n` points uniform in `[0, side]^D`.
 pub fn uniform_box<const D: usize>(n: usize, side: f64, seed: u64) -> Vec<[f64; D]> {
     assert!(side > 0.0);
@@ -230,6 +376,71 @@ mod tests {
             for &c in p.iter() {
                 assert!((0.0..=10.0).contains(&c));
             }
+        }
+    }
+
+    #[test]
+    fn annulus_respects_radii() {
+        let c = [10.0, -5.0];
+        let pts = annulus(200, c, 3.0, 4.0, 7);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            let d = dist(&c, p);
+            assert!((3.0 - 1e-9..=4.0 + 1e-9).contains(&d), "distance {d}");
+        }
+        // Degenerate disk and point cases.
+        for p in annulus(50, c, 0.0, 2.0, 8) {
+            assert!(dist(&c, &p) <= 2.0 + 1e-9);
+        }
+        assert_eq!(annulus(3, c, 2.0, 2.0, 9).len(), 3);
+        assert_eq!(annulus(10, c, 1.0, 5.0, 4), annulus(10, c, 1.0, 5.0, 4));
+    }
+
+    #[test]
+    fn two_scale_has_both_scales() {
+        let pts = two_scale_clusters(30, 30, 2.0, 100.0, 1000.0, 5);
+        assert_eq!(pts.len(), 60);
+        let near = pts.iter().filter(|p| dist(p, &[0.0, 0.0]) <= 2.1).count();
+        let far = pts
+            .iter()
+            .filter(|p| dist(p, &[1000.0, 0.0]) <= 100.1)
+            .count();
+        assert_eq!(near, 30);
+        assert_eq!(far, 30);
+    }
+
+    #[test]
+    fn duplicate_heavy_multiset_structure() {
+        let pts = duplicate_heavy(6, 10, 50.0, 3);
+        assert_eq!(pts.len(), 60);
+        let mut sorted: Vec<[i64; 2]> = pts
+            .iter()
+            .map(|p| [p[0].to_bits() as i64, p[1].to_bits() as i64])
+            .collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "exactly 6 distinct sites");
+    }
+
+    #[test]
+    fn colinear_is_evenly_spaced() {
+        let pts = colinear(10, [1.0, 2.0], [3.0, 0.0]);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0], [1.0, 2.0]);
+        assert_eq!(pts[9], [28.0, 2.0]);
+        for w in pts.windows(2) {
+            assert!((dist(&w[0], &w[1]) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outlier_burst_positions_are_planted() {
+        let (n, z, at) = (50, 5, 20);
+        let pts = outlier_burst(n, z, at, 1.0, 11);
+        assert_eq!(pts.len(), n);
+        for (i, p) in pts.iter().enumerate() {
+            let is_far = p[0] >= 400.0 || p[1] <= -300.0;
+            assert_eq!(is_far, (at..at + z).contains(&i), "position {i}: {p:?}");
         }
     }
 

@@ -11,6 +11,9 @@ pub mod generators;
 pub mod partition;
 pub mod streams;
 
-pub use generators::{gaussian_clusters, grid_clusters, uniform_box, ClusteredInstance};
+pub use generators::{
+    annulus, colinear, duplicate_heavy, gaussian_clusters, grid_clusters, outlier_burst,
+    two_scale_clusters, uniform_box, ClusteredInstance,
+};
 pub use partition::{concentrated_partition, random_partition, round_robin};
 pub use streams::{churn_schedule, drifting_stream, shuffled, DynamicOp};

@@ -9,10 +9,14 @@
 //! kcz stream  --input pts.csv --k 3 --z 10 --eps 0.5
 //! kcz mpc     --input pts.csv --k 3 --z 10 --eps 0.5 --machines 8 \
 //!             [--algorithm two_round|one_round|rround|baseline] [--rounds 3]
+//! kcz conformance [--tier smoke|full] [--json <path>]
 //! ```
 //!
 //! `solve` runs the Charikar-et-al. greedy on an (ε,k,z)-coreset (or on
 //! the raw input when `--eps` is omitted) and prints centers + radius.
+//! `conformance` runs every pipeline over the shared scenario catalog and
+//! checks each radius against its paper ratio bound (exit 3 on any
+//! violation).
 
 use kcenter_outliers::kcenter::charikar::GreedyParams;
 use kcenter_outliers::prelude::*;
@@ -23,7 +27,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("kcz: error: {e}");
             eprintln!("{USAGE}");
@@ -38,13 +42,17 @@ const USAGE: &str = "usage:
   kcz stream  --input <csv> --k <K> --z <Z> --eps <EPS>
   kcz mpc     --input <csv> --k <K> --z <Z> --eps <EPS> --machines <M>
               [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]
-  (all subcommands accept --metric l2|linf; the default is l2)";
+  kcz conformance [--tier smoke|full] [--json <path>]
+  (point subcommands accept --metric l2|linf; the default is l2)";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     let flags = parse_flags(&args[1..])?;
+    if cmd == "conformance" {
+        return run_conformance_cmd(&flags);
+    }
     let input = flags.get("input").ok_or("missing --input")?.clone();
     let points = read_csv(&input)?;
     if points.is_empty() {
@@ -64,6 +72,59 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The conformance subcommand: run every pipeline over the scenario
+/// catalog, print the verdict table, optionally write the JSON report,
+/// and exit 3 if any paper ratio bound is violated.
+fn run_conformance_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    // Conformance has no required flags, so a misspelled optional one
+    // would otherwise be silently ignored (e.g. `--teir full` running the
+    // smoke tier with exit 0).
+    if let Some(unknown) = flags
+        .keys()
+        .find(|k| !["tier", "json"].contains(&k.as_str()))
+    {
+        return Err(format!("unknown flag --{unknown} for conformance"));
+    }
+    let tier = match flags.get("tier").map(String::as_str) {
+        None | Some("smoke") => Tier::Smoke,
+        Some("full") => Tier::Full,
+        Some(other) => return Err(format!("--tier must be smoke or full, got `{other}`")),
+    };
+    let t0 = std::time::Instant::now();
+    let report = run_conformance(tier);
+    // `--json -` promises a machine-readable stdout: suppress the table
+    // so the stream stays parseable.
+    let json_to_stdout = flags.get("json").map(String::as_str) == Some("-");
+    if !json_to_stdout {
+        print!("{}", report.render_table());
+    }
+    let n_verdicts: usize = report.scenarios.iter().map(|s| s.verdicts.len()).sum();
+    eprintln!(
+        "conformance: {} pipelines x {} scenarios ({} verdicts) in {:.1?}",
+        report.pipelines.len(),
+        report.scenarios.len(),
+        n_verdicts,
+        t0.elapsed()
+    );
+    if let Some(path) = flags.get("json") {
+        let body = report.to_json();
+        if path == "-" {
+            print!("{body}");
+        } else {
+            std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+    let violations = report.violations();
+    if violations.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            eprintln!("conformance violation: {v}");
+        }
+        Ok(ExitCode::from(3))
+    }
+}
+
 /// Runs one subcommand under the chosen metric (the whole pipeline —
 /// coreset constructions, solvers, streaming, MPC — routes through the
 /// batched `MetricSpace` kernels of the chosen metric).
@@ -74,7 +135,7 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
     points: &[Weighted<[f64; 2]>],
     k: usize,
     z: u64,
-) -> Result<(), String> {
+) -> Result<ExitCode, String> {
     match cmd {
         "coreset" => {
             let eps = parse_eps(flags)?;
@@ -94,7 +155,7 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
                 }
                 None => print!("{body}"),
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "solve" => {
             let summary: Vec<Weighted<[f64; 2]>> = match flags.get("eps") {
@@ -116,7 +177,7 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
                 summary.len(),
                 t0.elapsed()
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "stream" => {
             let eps = parse_eps(flags)?;
@@ -135,7 +196,7 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
                 alg.rebuilds(),
                 sol.radius
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "mpc" => {
             let eps = parse_eps(flags)?;
@@ -180,7 +241,7 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
                 "radius: {:.6}  effective_eps: {:.3}",
                 sol.radius, out.effective_eps
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }

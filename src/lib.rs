@@ -22,7 +22,8 @@
 //! | [`streaming`] | insertion-only (Alg. 3), fully dynamic (Alg. 5), sliding-window structures and streaming baselines |
 //! | [`sketch`] | turnstile substrates: s-sparse recovery, F₀ estimation with deletions |
 //! | [`lowerbounds`] | the paper's lower-bound constructions as adversarial generators |
-//! | [`workloads`] | reproducible synthetic data, partitions, stream schedules |
+//! | [`workloads`] | reproducible synthetic data, partitions, stream schedules, adversarial generators |
+//! | [`harness`] | cross-model conformance: scenario catalog, `Pipeline` adapters for all nine solvers, oracle-checked ratio bounds (`kcz conformance`) |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 //! ```
 
 pub use kcz_coreset as coreset;
+pub use kcz_harness as harness;
 pub use kcz_kcenter as kcenter;
 pub use kcz_lowerbounds as lowerbounds;
 pub use kcz_metric as metric;
@@ -56,6 +58,10 @@ pub use kcz_workloads as workloads;
 pub mod prelude {
     pub use kcz_coreset::validate::{covering_radius, validate_coreset};
     pub use kcz_coreset::{mbc_construction, streaming_capacity, update_coreset, MiniBallCovering};
+    pub use kcz_harness::{
+        all_pipelines, catalog, run_conformance, ConformanceReport, Pipeline, Scenario, Tier,
+        Verdict,
+    };
     pub use kcz_kcenter::{
         cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,
     };
@@ -71,7 +77,8 @@ pub mod prelude {
         DoublingCoreset, DynamicCoreset, InsertionOnlyCoreset, SlidingWindowCoreset,
     };
     pub use kcz_workloads::{
-        churn_schedule, concentrated_partition, drifting_stream, gaussian_clusters, grid_clusters,
-        random_partition, round_robin, shuffled, uniform_box,
+        annulus, churn_schedule, colinear, concentrated_partition, drifting_stream,
+        duplicate_heavy, gaussian_clusters, grid_clusters, outlier_burst, random_partition,
+        round_robin, shuffled, two_scale_clusters, uniform_box,
     };
 }

@@ -225,6 +225,67 @@ fn solve_golden_output_linf_metric() {
 }
 
 #[test]
+fn conformance_smoke_matches_committed_golden() {
+    // The conformance run is deterministic end to end (fixed generator
+    // seeds, order-preserving parallel map, 6-decimal formatting), so the
+    // full JSON report for the smoke tier is pinned byte-for-byte.  Any
+    // drift — a scenario change, an adapter's bound, a solver regression
+    // that shifts a radius — must show up as a conscious golden update.
+    let dir = std::env::temp_dir().join("kcz_cli_conformance");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("conformance.json");
+    let out = kcz()
+        .args([
+            "conformance",
+            "--tier",
+            "smoke",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run kcz conformance");
+    assert!(
+        out.status.success(),
+        "conformance violations?\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scenario gaussian_blobs"), "{stdout}");
+    assert!(!stdout.contains("VIOLATION"), "{stdout}");
+    let got = std::fs::read_to_string(&json_path).unwrap();
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/conformance_golden.json"
+    ))
+    .unwrap();
+    assert_eq!(
+        got, golden,
+        "conformance report drifted from the committed golden \
+         (tests/fixtures/conformance_golden.json); regenerate it with \
+         `kcz conformance --json tests/fixtures/conformance_golden.json` \
+         if the change is intentional"
+    );
+}
+
+#[test]
+fn conformance_rejects_bad_flags() {
+    let out = kcz()
+        .args(["conformance", "--tier", "bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--tier must be smoke or full"));
+    // Misspelled optional flags must not be silently ignored (conformance
+    // has no required flags to surface them indirectly).
+    let out = kcz()
+        .args(["conformance", "--teir", "full"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --teir"));
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let dir = std::env::temp_dir().join("kcz_cli_bad");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,8 +1,89 @@
 //! Cross-crate edge cases and failure injection that unit tests don't
 //! reach: degenerate geometry, extreme parameters, weighted pipelines,
-//! higher dimensions.
+//! higher dimensions — plus the shared degenerate-input matrix that runs
+//! *every* pipeline (via the conformance adapters) on the inputs that
+//! historically crash clustering code: `n = 0`, `k = 1`, `z ≥ n`, and
+//! all-points-identical.
 
+use kcenter_outliers::harness::{all_pipelines, Scenario, SIDE_BITS};
 use kcenter_outliers::prelude::*;
+
+/// A hand-built scenario for the edge matrix (integer coordinates, as the
+/// catalog invariants require).
+fn edge_scenario(name: &'static str, points: Vec<[f64; 2]>, k: usize, z: u64) -> Scenario {
+    Scenario {
+        name,
+        description: "edge-case matrix",
+        points,
+        k,
+        z,
+        eps: 0.5,
+        machines: 3,
+        rounds: 2,
+        side_bits: SIDE_BITS,
+        oracle: true,
+        seed: 0xED6E,
+    }
+}
+
+/// Every pipeline must return a *defined* result — finite radius, outlier
+/// budget respected, no panic — on each degenerate input.  Where the
+/// optimum is trivially 0 the radius must be exactly 0.
+#[test]
+fn degenerate_input_matrix_every_pipeline_defined() {
+    let blob: Vec<[f64; 2]> = (0..30)
+        .map(|i| [100.0 + (i % 6) as f64, 200.0 + (i / 6) as f64])
+        .collect();
+    let cases: Vec<(Scenario, bool)> = vec![
+        // (scenario, opt-is-exactly-zero)
+        (edge_scenario("empty_input", vec![], 1, 0), true),
+        (edge_scenario("empty_input_k3_z5", vec![], 3, 5), true),
+        (edge_scenario("k_one", blob.clone(), 1, 2), false),
+        (edge_scenario("z_equals_n", blob.clone(), 2, 30), true),
+        (edge_scenario("z_exceeds_n", blob.clone(), 2, 1000), true),
+        (
+            edge_scenario("all_identical", vec![[42.0, 17.0]; 25], 3, 2),
+            true,
+        ),
+        (edge_scenario("single_point", vec![[9.0, 9.0]], 1, 0), true),
+        (
+            // Two distinct points, k = 1, z = 0: radius is their distance.
+            edge_scenario("two_points_k1", vec![[0.0, 0.0], [30.0, 40.0]], 1, 0),
+            false,
+        ),
+    ];
+    for (sc, zero_opt) in &cases {
+        for p in all_pipelines() {
+            let v = p.run(sc);
+            assert!(
+                v.radius.is_finite(),
+                "{}/{}: radius {}",
+                sc.name,
+                v.pipeline,
+                v.radius
+            );
+            let total = total_weight(&sc.weighted());
+            if total > sc.z {
+                assert!(
+                    v.uncovered <= sc.z,
+                    "{}/{}: excluded {} > z = {}",
+                    sc.name,
+                    v.pipeline,
+                    v.uncovered,
+                    sc.z
+                );
+            }
+            if *zero_opt {
+                assert_eq!(
+                    v.radius, 0.0,
+                    "{}/{}: expected zero radius",
+                    sc.name, v.pipeline
+                );
+            }
+            assert!(v.centers <= sc.k, "{}/{}", sc.name, v.pipeline);
+        }
+    }
+}
 
 #[test]
 fn all_points_identical() {

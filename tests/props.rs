@@ -110,6 +110,106 @@ proptest! {
         }
     }
 
+    // ---- metamorphic invariants (scaling / permutation) ----------------
+    //
+    // Uniform scaling by a *power of two* is exact in IEEE-754: every
+    // coordinate, squared distance, `sqrt`, and threshold product scales
+    // without rounding, so each solver's execution trace is identical and
+    // its radius must scale bit-for-bit.  (Non-power-of-two factors can
+    // flip greedy tie-breaks; the certified band still holds but equality
+    // does not, which is why the tests pin factors {1/2, 2, 4}.)
+
+    #[test]
+    fn offline_radius_scales_exactly(pts in arb_points(18), k in 1usize..4, z in 0u64..4, si in 0usize..3) {
+        let scale = [0.5f64, 2.0, 4.0][si];
+        let scaled: Vec<Weighted<[f64; 2]>> = pts.iter()
+            .map(|w| Weighted::new([w.point[0] * scale, w.point[1] * scale], w.weight))
+            .collect();
+        let base = greedy(&L2, &pts, k, z);
+        let big = greedy(&L2, &scaled, k, z);
+        prop_assert_eq!(big.radius, scale * base.radius);
+        prop_assert_eq!(big.uncovered, base.uncovered);
+        let ff_base = farthest_first(&L2, &pts, k, 0);
+        let ff_big = farthest_first(&L2, &scaled, k, 0);
+        prop_assert_eq!(ff_big.radius, scale * ff_base.radius);
+    }
+
+    #[test]
+    fn streaming_radius_scales_exactly(raw in prop::collection::vec(((0.0f64..100.0), (0.0f64..100.0)), 3..30), si in 0usize..3) {
+        let scale = [0.5f64, 2.0, 4.0][si];
+        let (k, z, eps) = (2usize, 2u64, 0.5f64);
+        let mut base = InsertionOnlyCoreset::new(L2, k, z, eps);
+        let mut big = InsertionOnlyCoreset::new(L2, k, z, eps);
+        for (x, y) in &raw {
+            base.insert([*x, *y]);
+            big.insert([x * scale, y * scale]);
+        }
+        prop_assert_eq!(big.coreset().len(), base.coreset().len());
+        prop_assert_eq!(big.radius_bound(), scale * base.radius_bound());
+        // Solving on the coreset and reading the cost back on the scaled
+        // input scales exactly too.
+        let sol_base = greedy(&L2, base.coreset(), k, z);
+        let sol_big = greedy(&L2, big.coreset(), k, z);
+        prop_assert_eq!(sol_big.radius, scale * sol_base.radius);
+    }
+
+    #[test]
+    fn mpc_two_round_scales_exactly(raw in prop::collection::vec(((0.0f64..100.0), (0.0f64..100.0)), 4..24), si in 0usize..3, m in 1usize..4) {
+        use kcenter_outliers::kcenter::charikar::GreedyParams;
+        let scale = [0.5f64, 2.0, 4.0][si];
+        let pts: Vec<[f64; 2]> = raw.iter().map(|&(x, y)| [x, y]).collect();
+        let scaled: Vec<[f64; 2]> = pts.iter().map(|p| [p[0] * scale, p[1] * scale]).collect();
+        let (k, z, eps) = (2usize, 1u64, 0.5f64);
+        let params = GreedyParams::default();
+        let base = two_round(&L2, &round_robin(&pts, m), k, z, eps, &params);
+        let big = two_round(&L2, &round_robin(&scaled, m), k, z, eps, &params);
+        prop_assert_eq!(big.rhat, scale * base.rhat);
+        prop_assert_eq!(&big.budgets, &base.budgets);
+        prop_assert_eq!(big.output.coreset.len(), base.output.coreset.len());
+        for (a, b) in big.output.coreset.iter().zip(&base.output.coreset) {
+            prop_assert_eq!(a.weight, b.weight);
+            prop_assert_eq!(a.point[0], scale * b.point[0]);
+            prop_assert_eq!(a.point[1], scale * b.point[1]);
+        }
+    }
+
+    // Permutation does NOT leave these algorithms' outputs bitwise
+    // unchanged (greedy gain ties and stream absorb order are
+    // order-dependent), but it must leave the *certified band* intact:
+    // any arrival order stays within the paper ratio bound of the exact
+    // optimum, and coreset weight is always preserved.
+
+    #[test]
+    fn permutation_keeps_certified_band(pts in arb_points(12), k in 1usize..3, z in 0u64..3, perm_seed in 0u64..1u64 << 32) {
+        let permuted = shuffled(&pts, perm_seed);
+        let cand: Vec<[f64; 2]> = pts.iter().map(|p| p.point).collect();
+        let exact = exact_discrete(&L2, &pts, k, z, &cand);
+        for order in [&pts, &permuted] {
+            let sol = greedy(&L2, order, k, z);
+            prop_assert!(sol.radius <= 3.0 * exact.radius + 1e-9,
+                "greedy {} vs exact {}", sol.radius, exact.radius);
+            prop_assert!(sol.radius >= exact.radius - 1e-9);
+        }
+        // Streaming: both orders produce weight-preserving coresets whose
+        // solve stays within the insertion pipeline's (3+8ε)·opt band.
+        let (eps, bound) = (0.5f64, 3.0 + 8.0 * 0.5);
+        for order in [&pts, &permuted] {
+            let mut alg = InsertionOnlyCoreset::new(L2, k, z, eps);
+            for w in order.iter() {
+                alg.insert_weighted(w.point, w.weight);
+            }
+            prop_assert_eq!(total_weight(alg.coreset()), total_weight(&pts));
+            let sol = greedy(&L2, alg.coreset(), k, z);
+            let measured = if sol.centers.is_empty() {
+                0.0
+            } else {
+                cost_with_outliers(&L2, &pts, &sol.centers, z)
+            };
+            prop_assert!(measured <= bound * exact.radius + 1e-9,
+                "stream order cost {} vs {}·opt {}", measured, bound, exact.radius);
+        }
+    }
+
     #[test]
     fn union_of_split_coverings_is_covering(raw in prop::collection::vec(((0.0f64..100.0), (0.0f64..100.0)), 6..30), cut in 1usize..5) {
         let pts: Vec<Weighted<[f64; 2]>> = raw.into_iter().map(|(x, y)| Weighted::unit([x, y])).collect();
