@@ -1,0 +1,146 @@
+//! `engine_throughput` — batched sharded ingest ([`kcz_engine::Engine`])
+//! vs the single-stream insertion-only coreset at n = 10⁶, shards ∈
+//! {1, 4, 8}.  Measured medians are recorded in `BENCH_engine.json` at
+//! the repo root.
+//!
+//! Where the sharded win comes from: on a multi-core host the engine
+//! additionally parallelizes the per-shard insert loops over the worker
+//! pool, but the effect measured here is *algorithmic* and survives a
+//! single core — the value-hash router partitions the representative set
+//! across shards, so an absorb query scans only the owning shard's
+//! representatives (≈ 1/s of the single-stream scan).  The workload
+//! makes that scan the dominant cost, the regime the resident engine
+//! exists for: heavy arrival traffic over a large site population
+//! (duplicate-rich sensor streams, the catalog's hot-shard theme).
+//!
+//! The bench also carries the allocation-regression assert for the
+//! absorb path (see [`absorb_path_is_allocation_free`]): a steady-state
+//! insert that lands on an existing representative must not allocate —
+//! the guard for the fix that removed the per-call clone of every
+//! representative from the summary's pairwise-distance scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kcz_engine::{Engine, EngineConfig};
+use kcz_metric::L2;
+use kcz_streaming::InsertionOnlyCoreset;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocation counter wrapped around the system allocator, so the bench
+/// can assert the absorb path performs zero allocations at steady state.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const N: usize = 1_000_000;
+/// Distinct sites.  Below the streaming capacity for (k, z, ε) below, so
+/// the summary holds one representative per site and never re-clusters —
+/// the absorb scan over ~`SITES` representatives is the steady state.
+const SITES: usize = 1_500;
+const K: usize = 8;
+const Z: u64 = 32;
+const EPS: f64 = 1.0;
+
+/// Site `i` of the 50 × 30 grid (spacing ≫ the absorb threshold, so
+/// distinct sites never merge into one representative).
+fn site_point(i: usize) -> [f64; 2] {
+    [(i % 50) as f64 * 1e4, (i / 50) as f64 * 1e4]
+}
+
+/// `n` arrivals over the `SITES` grid sites in seeded pseudo-random order.
+fn arrivals(n: usize) -> Vec<[f64; 2]> {
+    let mut s = 0x0E16_5EED_u64;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            site_point((s >> 16) as usize % SITES)
+        })
+        .collect()
+}
+
+/// Regression guard: once a representative exists for a site, inserting
+/// that site again (the absorb path: one `find_within_weighted` scan +
+/// a saturating weight bump + the words recount) must not allocate.
+fn absorb_path_is_allocation_free(stream: &[[f64; 2]]) {
+    let mut alg = InsertionOnlyCoreset::new(L2, K, Z, EPS);
+    // Deterministic warm-up: one representative per site, so every
+    // stream arrival below lands on the absorb path.
+    for site in 0..SITES {
+        alg.insert(site_point(site));
+    }
+    let reps_before = alg.coreset().len();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for p in &stream[..4 * SITES] {
+        alg.insert(*p);
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        alg.coreset().len(),
+        reps_before,
+        "warm-up must have established every representative"
+    );
+    assert_eq!(
+        allocations, 0,
+        "absorb-path inserts allocated {allocations} times (the query \
+         must borrow the representative array, not clone it)"
+    );
+    println!(
+        "engine_throughput/absorb_alloc_regression: 0 allocations over {} absorbs — ok",
+        4 * SITES
+    );
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let stream = arrivals(N);
+    absorb_path_is_allocation_free(&stream);
+
+    let mut g = c.benchmark_group("engine_ingest");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_with_input(BenchmarkId::new("single_stream", N), &stream, |b, s| {
+        b.iter(|| {
+            let mut alg = InsertionOnlyCoreset::new(L2, K, Z, EPS);
+            for p in s {
+                alg.insert(*p);
+            }
+            black_box(alg.coreset().len())
+        });
+    });
+
+    for shards in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &stream, |b, s| {
+            b.iter(|| {
+                let engine = Engine::new(L2, EngineConfig::new(shards, K, Z, EPS));
+                for batch in s.chunks(4096) {
+                    engine.ingest(batch);
+                }
+                black_box(engine.snapshot().coreset.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -29,6 +29,37 @@ use kcz_workloads::{
 };
 use std::collections::HashSet;
 
+/// Buffered `println!`: experiments render into a `String` so the driver
+/// can map them over the shared worker pool and still print the reports
+/// in catalog order.
+macro_rules! say {
+    ($w:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($w, $($arg)*);
+    }};
+}
+
+/// An experiment renders its report into the provided buffer.
+type Experiment = fn(&mut String);
+
+/// Canonical experiment table: drives the CLI index, the execution plan
+/// and the order of `--json` records (concurrent execution appends
+/// records as experiments finish; `write_json` restores this order).
+const EXPERIMENTS: [(&str, Experiment); 12] = [
+    ("t1_mpc", t1_mpc),
+    ("t1_rround", t1_rround),
+    ("t1_stream", t1_stream),
+    ("t1_dynamic", t1_dynamic),
+    ("t1_sliding", t1_sliding),
+    ("f1_mbc", f1_mbc),
+    ("f2_lb_insertion", f2_lb_insertion),
+    ("f5_lb_dynamic", f5_lb_dynamic),
+    ("f6_lb_sliding", f6_lb_sliding),
+    ("f8_quality", f8_quality),
+    ("ablation", ablation),
+    ("ext_dynamic", ext_dynamic),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
@@ -52,33 +83,28 @@ fn main() {
     }
     let which = which.unwrap_or_else(|| "all".into());
     let t0 = std::time::Instant::now();
-    let run = |name: &str| which == "all" || which == name;
-    let mut ran = false;
-    let experiments: [(&'static str, fn()); 12] = [
-        ("t1_mpc", t1_mpc),
-        ("t1_rround", t1_rround),
-        ("t1_stream", t1_stream),
-        ("t1_dynamic", t1_dynamic),
-        ("t1_sliding", t1_sliding),
-        ("f1_mbc", f1_mbc),
-        ("f2_lb_insertion", f2_lb_insertion),
-        ("f5_lb_dynamic", f5_lb_dynamic),
-        ("f6_lb_sliding", f6_lb_sliding),
-        ("f8_quality", f8_quality),
-        ("ablation", ablation),
-        ("ext_dynamic", ext_dynamic),
-    ];
-    for (name, f) in experiments {
-        if run(name) {
-            let t = std::time::Instant::now();
-            f();
-            record_run(name, "total", t.elapsed().as_secs_f64() * 1e3, &[]);
-            ran = true;
-        }
-    }
-    if !ran {
+    let selected: Vec<(&'static str, Experiment)> = EXPERIMENTS
+        .into_iter()
+        .filter(|(name, _)| which == "all" || which == *name)
+        .collect();
+    if selected.is_empty() {
         eprintln!("unknown experiment `{which}`; see --help text in the module docs");
         std::process::exit(2);
+    }
+    // Map the selected experiments over the shared worker pool (each
+    // renders into its own buffer; `scoped_map` preserves catalog order,
+    // so stdout is byte-identical to a sequential run).  Per-experiment
+    // wall times include pool contention when several run at once — pass
+    // a single id for clean timing of one experiment.
+    let outputs = kcz_engine::runtime::global().scoped_map(selected, |_, (name, f)| {
+        let t = std::time::Instant::now();
+        let mut w = String::new();
+        f(&mut w);
+        (name, w, t.elapsed())
+    });
+    for (name, body, elapsed) in outputs {
+        print!("{body}");
+        record_run(name, "total", elapsed.as_secs_f64() * 1e3, &[]);
     }
     eprintln!("\n(total experiment time: {:.1?})", t0.elapsed());
     if let Some(path) = json_path {
@@ -132,7 +158,16 @@ fn write_json(path: &str) -> std::io::Result<()> {
             })
             .collect()
     };
-    let report = REPORT.lock().expect("report lock");
+    let mut report = REPORT.lock().expect("report lock");
+    // Concurrent experiments append their records as they finish; restore
+    // the canonical order (stable, so records within one experiment keep
+    // their run order and its "total" stays last).
+    report.sort_by_key(|r| {
+        EXPERIMENTS
+            .iter()
+            .position(|(n, _)| *n == r.experiment)
+            .unwrap_or(usize::MAX)
+    });
     let mut body = String::from("{\n  \"schema\": \"kcz-bench-experiments/v1\",\n  \"runs\": [\n");
     for (i, r) in report.iter().enumerate() {
         body.push_str(&format!(
@@ -156,8 +191,11 @@ fn quality(coreset: &[Weighted<[f64; 2]>], direct_radius: f64, k: usize, z: u64)
 
 /// T1-mpc: worker/coordinator storage and communication of the MPC
 /// algorithms as the outlier count z grows (Table 1, MPC rows).
-fn t1_mpc() {
-    println!("\n## T1-mpc — MPC rows of Table 1 (m = 8 machines, k = 3, ε = 0.5, n ≈ 3200)\n");
+fn t1_mpc(w: &mut String) {
+    say!(
+        w,
+        "\n## T1-mpc — MPC rows of Table 1 (m = 8 machines, k = 3, ε = 0.5, n ≈ 3200)\n"
+    );
     let (k, eps, m) = (3usize, 0.5f64, 8usize);
     let params = GreedyParams::default();
     let mut t = Table::new(&[
@@ -234,14 +272,23 @@ fn t1_mpc() {
             ]);
         }
     }
-    t.print();
-    println!("\nShape check: the 2-round worker column must stay flat in z (log z");
-    println!("vector term only) while the CPP19 baseline's comm/coordinator grow with z.");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: the 2-round worker column must stay flat in z (log z"
+    );
+    say!(
+        w,
+        "vector term only) while the CPP19 baseline's comm/coordinator grow with z."
+    );
 }
 
 /// T1-rround: the rounds-vs-memory trade-off (Table 1, R-round row).
-fn t1_rround() {
-    println!("\n## T1-rround — R-round trade-off (m = 16 machines, k = 2, ε = 0.2)\n");
+fn t1_rround(w: &mut String) {
+    say!(
+        w,
+        "\n## T1-rround — R-round trade-off (m = 16 machines, k = 2, ε = 0.2)\n"
+    );
     let (k, z, eps, m) = (2usize, 16u64, 0.2f64, 16usize);
     let params = GreedyParams::default();
     let inst = gaussian_clusters::<2>(k, 1200, 1.0, z as usize, 5);
@@ -268,14 +315,20 @@ fn t1_rround() {
             format!("{:.3}", quality(&res.coreset, direct, k, z)),
         ]);
     }
-    t.print();
-    println!("\nShape check: coordinator words shrink as R grows; error grows as (1+ε)^R − 1.");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: coordinator words shrink as R grows; error grows as (1+ε)^R − 1."
+    );
 }
 
 /// T1-stream: live space of Algorithm 3 vs the streaming baselines as ε
 /// shrinks and z grows (Table 1, insertion-only rows).
-fn t1_stream() {
-    println!("\n## T1-stream — insertion-only rows of Table 1 (k = 2, n = 20000)\n");
+fn t1_stream(w: &mut String) {
+    say!(
+        w,
+        "\n## T1-stream — insertion-only rows of Table 1 (k = 2, n = 20000)\n"
+    );
     let k = 2usize;
     let n = 20_000usize;
     let mut t = Table::new(&[
@@ -327,16 +380,31 @@ fn t1_stream() {
             ]);
         }
     }
-    t.print();
-    println!("\nShape check: ours grows like k/ε^d + z; CPP19 like (k+z)/ε^d (watch the");
-    println!("z sweep at fixed ε); MK stays O(k+z) small but pays in quality: an O(1)");
-    println!("band at best, and when its summary has ≤ k+z points the reported radius");
-    println!("can collapse to 0 — exactly the Ω(k+z) degeneracy of Lemma 15.");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: ours grows like k/ε^d + z; CPP19 like (k+z)/ε^d (watch the"
+    );
+    say!(
+        w,
+        "z sweep at fixed ε); MK stays O(k+z) small but pays in quality: an O(1)"
+    );
+    say!(
+        w,
+        "band at best, and when its summary has ≤ k+z points the reported radius"
+    );
+    say!(
+        w,
+        "can collapse to 0 — exactly the Ω(k+z) degeneracy of Lemma 15."
+    );
 }
 
 /// T1-dynamic: sketch space vs log Δ and z (Table 1, fully dynamic row).
-fn t1_dynamic() {
-    println!("\n## T1-dynamic — fully dynamic row of Table 1 (k = 2, ε = 1)\n");
+fn t1_dynamic(w: &mut String) {
+    say!(
+        w,
+        "\n## T1-dynamic — fully dynamic row of Table 1 (k = 2, ε = 1)\n"
+    );
     let (k, eps) = (2usize, 1.0f64);
     let mut t = Table::new(&[
         "log Δ",
@@ -378,14 +446,17 @@ fn t1_dynamic() {
             ]);
         }
     }
-    t.print();
-    println!("\nShape check: space grows roughly linearly in log Δ at fixed (k, z, ε)");
-    println!("(the paper's bound is (k/ε^d + z)·polylog(kΔ/εδ)).");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: space grows roughly linearly in log Δ at fixed (k, z, ε)"
+    );
+    say!(w, "(the paper's bound is (k/ε^d + z)·polylog(kΔ/εδ)).");
 }
 
 /// T1-sliding: sliding-window storage vs window, z and guesses.
-fn t1_sliding() {
-    println!("\n## T1-sliding — sliding-window rows (k = 2, ε = 1)\n");
+fn t1_sliding(w: &mut String) {
+    say!(w, "\n## T1-sliding — sliding-window rows (k = 2, ε = 1)\n");
     let (k, eps) = (2usize, 1.0f64);
     let mut t = Table::new(&[
         "W",
@@ -422,14 +493,23 @@ fn t1_sliding() {
             ]);
         }
     }
-    t.print();
-    println!("\nShape check: peak grows with z (the z+1 points per mini-ball) and with");
-    println!("the number of guesses (log σ), matching O((kz/ε^d) log σ).");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: peak grows with z (the z+1 points per mini-ball) and with"
+    );
+    say!(
+        w,
+        "the number of guesses (log σ), matching O((kz/ε^d) log σ)."
+    );
 }
 
 /// F1: mini-ball covering sizes vs the Lemma 7 bound (paper Figure 1).
-fn f1_mbc() {
-    println!("\n## F1-mbc — MBCConstruction sizes vs Lemma 7 (k = 3, z = 20, n = 6020)\n");
+fn f1_mbc(w: &mut String) {
+    say!(
+        w,
+        "\n## F1-mbc — MBCConstruction sizes vs Lemma 7 (k = 3, z = 20, n = 6020)\n"
+    );
     let (k, z) = (3usize, 20u64);
     let inst = gaussian_clusters::<2>(k, 2000, 1.0, z as usize, 23);
     let weighted = unit_weighted(&inst.points);
@@ -463,15 +543,19 @@ fn f1_mbc() {
             format!("{:.3}", eps * mbc.greedy_radius / 3.0),
         ]);
     }
-    t.print();
-    println!(
+    w.push_str(&t.render());
+    say!(
+        w,
         "\nShape check: |MBC| well under the bound, halving ε roughly 4x-es the size (d = 2)."
     );
 }
 
 /// F2: the insertion-only lower bounds driven against Algorithm 3.
-fn f2_lb_insertion() {
-    println!("\n## F2-lb-insertion — Theorem 11 constructions vs Algorithm 3\n");
+fn f2_lb_insertion(w: &mut String) {
+    say!(
+        w,
+        "\n## F2-lb-insertion — Theorem 11 constructions vs Algorithm 3\n"
+    );
     let mut t = Table::new(&[
         "construction",
         "k",
@@ -521,14 +605,23 @@ fn f2_lb_insertion() {
             (alg.coreset().len() == k + z).to_string(),
         ]);
     }
-    t.print();
-    println!("\nShape check: `alg stored` ≥ `forced points` and every forced point retained —");
-    println!("the algorithm meets the Ω(k/ε^d + z) bound exactly where the adversary aims.");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: `alg stored` ≥ `forced points` and every forced point retained —"
+    );
+    say!(
+        w,
+        "the algorithm meets the Ω(k/ε^d + z) bound exactly where the adversary aims."
+    );
 }
 
 /// F5: dynamic sketch space scaling on the Theorem 28 construction.
-fn f5_lb_dynamic() {
-    println!("\n## F5-lb-dynamic — Theorem 28 construction vs Algorithm 5\n");
+fn f5_lb_dynamic(w: &mut String) {
+    say!(
+        w,
+        "\n## F5-lb-dynamic — Theorem 28 construction vs Algorithm 5\n"
+    );
     let mut t = Table::new(&[
         "log Δ",
         "construction pts",
@@ -564,14 +657,23 @@ fn f5_lb_dynamic() {
             ok.to_string(),
         ]);
     }
-    t.print();
-    println!("\nShape check: sketch space grows with log Δ (the lower bound says it must),");
-    println!("and the sketch answers correctly after the adversary deletes down to any scale.");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: sketch space grows with log Δ (the lower bound says it must),"
+    );
+    say!(
+        w,
+        "and the sketch answers correctly after the adversary deletes down to any scale."
+    );
 }
 
 /// F6: sliding-window storage on the Theorem 30 construction.
-fn f6_lb_sliding() {
-    println!("\n## F6-lb-sliding — Theorem 30 construction vs the sliding-window structure\n");
+fn f6_lb_sliding(w: &mut String) {
+    say!(
+        w,
+        "\n## F6-lb-sliding — Theorem 30 construction vs the sliding-window structure\n"
+    );
     let mut t = Table::new(&[
         "k",
         "z",
@@ -603,14 +705,23 @@ fn f6_lb_sliding() {
             format!("{:.2}", stored as f64 / lb.target_size() as f64),
         ]);
     }
-    t.print();
-    println!("\nShape check: stored grows with each of k, z and g — the three factors of");
-    println!("the Ω((kz/ε^d)·log σ) lower bound (ratios stay within a constant band).");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: stored grows with each of k, z and g — the three factors of"
+    );
+    say!(
+        w,
+        "the Ω((kz/ε^d)·log σ) lower bound (ratios stay within a constant band)."
+    );
 }
 
 /// F8: Definition-1 validation for every algorithm on one instance.
-fn f8_quality() {
-    println!("\n## F8-quality — Definition 1 checks for every algorithm (k = 2, z = 5, ε = 0.4)\n");
+fn f8_quality(w: &mut String) {
+    say!(
+        w,
+        "\n## F8-quality — Definition 1 checks for every algorithm (k = 2, z = 5, ε = 0.4)\n"
+    );
     let (k, z, eps) = (2usize, 5u64, 0.4f64);
     let inst = gaussian_clusters::<2>(k, 40, 1.0, z as usize, 51);
     let weighted = unit_weighted(&inst.points);
@@ -670,13 +781,13 @@ fn f8_quality() {
     }
     record("Streaming (Alg 3)", stream.coreset(), eps);
 
-    t.print();
-    println!("\nShape check: every row reports cond1 = cond2 = weight = true and a ratio in [1−ε_eff, 1+ε_eff].");
+    w.push_str(&t.render());
+    say!(w, "\nShape check: every row reports cond1 = cond2 = weight = true and a ratio in [1−ε_eff, 1+ε_eff].");
 }
 
 /// Ablations of the design choices called out in DESIGN.md.
-fn ablation() {
-    println!("\n## Ablation — design choices\n");
+fn ablation(w: &mut String) {
+    say!(w, "\n## Ablation — design choices\n");
 
     // (a) Greedy candidate sets: exact pairwise vs geometric grid.
     let inst = gaussian_clusters::<2>(3, 180, 1.0, 8, 61);
@@ -702,10 +813,10 @@ fn ablation() {
             format!("{:.1?}", t0.elapsed()),
         ]);
     }
-    t.print();
+    w.push_str(&t.render());
 
     // (b) Streaming capacity: the paper's k(16/ε)^d + z vs tighter/looser.
-    println!();
+    say!(w, "");
     let (k, z, eps) = (2usize, 40u64, 0.5f64);
     let inst2 = gaussian_clusters::<2>(k, 4000, 1.0, z as usize, 71);
     let stream = shuffled(&inst2.points, 2);
@@ -731,13 +842,19 @@ fn ablation() {
             format!("{:.3}", quality(alg.coreset(), direct, k, z)),
         ]);
     }
-    t.print();
-    println!("\nShape check: tighter capacity saves space; quality holds while capacity ≥ the");
-    println!("packing bound at the data's effective doubling dimension (Lemma 6's slack).");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nShape check: tighter capacity saves space; quality holds while capacity ≥ the"
+    );
+    say!(
+        w,
+        "packing bound at the data's effective doubling dimension (Lemma 6's slack)."
+    );
 
     // (c) Mini-ball partition: generic O(n²) sweep vs the grid-indexed
     // sweep (identical outputs by construction; see kcz-coreset::fast).
-    println!();
+    say!(w, "");
     let big = gaussian_clusters::<2>(4, 12_000, 1.0, 50, 81);
     let weighted_big = unit_weighted(&big.points);
     let delta = 0.5;
@@ -772,15 +889,16 @@ fn ablation() {
         fast.len().to_string(),
         format!("{t_fast:.1?}"),
     ]);
-    t.print();
+    w.push_str(&t.render());
 }
 
 /// Extension: the paper's Section-5 remarks made executable — the
 /// deterministic Vandermonde dynamic sketch vs the randomized one, and
 /// the fully dynamic (3+ε)-approximate solver built on the sketch.
-fn ext_dynamic() {
+fn ext_dynamic(w: &mut String) {
     use kcz_streaming::{DeterministicDynamicCoreset, DynamicKCenter};
-    println!(
+    say!(
+        w,
         "\n## EXT-dynamic — deterministic variant and the dynamic solver (Section 5 remarks)\n"
     );
     let side_bits = 10u32;
@@ -840,13 +958,22 @@ fn ext_dynamic() {
         c_det.len().to_string(),
         "certain".into(),
     ]);
-    t.print();
-    println!("\nTrade-off: the deterministic sketch stores only 2s field elements per level");
-    println!("(no hash rows), but pays an O(U·s) Chien search per query — usable only for");
-    println!("small universes, exactly the caveat the paper's Section 5 discussion leaves open.");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nTrade-off: the deterministic sketch stores only 2s field elements per level"
+    );
+    say!(
+        w,
+        "(no hash rows), but pays an O(U·s) Chien search per query — usable only for"
+    );
+    say!(
+        w,
+        "small universes, exactly the caveat the paper's Section 5 discussion leaves open."
+    );
 
     // Dynamic (3+ε)-approximate solver with fast updates.
-    println!();
+    say!(w, "");
     let (k, z, eps) = (2usize, 8u64, 1.0f64);
     let mut solver = DynamicKCenter::<2>::new(side_bits, k, z, eps, 0.01, 9);
     let mut live: HashSet<[u64; 2]> = HashSet::new();
@@ -878,8 +1005,17 @@ fn ext_dynamic() {
             ]);
         }
     }
-    t.print();
-    println!("\nThe solver's update cost is the sketch update (independent of the live count);");
-    println!("its answers track the direct greedy within the 3(1+O(ε)) band — the paper's");
-    println!("'fully dynamic k-center with outliers with fast update time' corollary.");
+    w.push_str(&t.render());
+    say!(
+        w,
+        "\nThe solver's update cost is the sketch update (independent of the live count);"
+    );
+    say!(
+        w,
+        "its answers track the direct greedy within the 3(1+O(ε)) band — the paper's"
+    );
+    say!(
+        w,
+        "'fully dynamic k-center with outliers with fast update time' corollary."
+    );
 }

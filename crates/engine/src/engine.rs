@@ -1,0 +1,505 @@
+//! The resident sharded ingest engine.
+//!
+//! [`Engine`] turns the paper's composability lemmas into a long-lived
+//! system: `N` shards, each owning an insertion-only streaming coreset
+//! ([`kcz_streaming::InsertionOnlyCoreset`], Theorem 18) behind its own
+//! lock.  Batched [`Engine::ingest`] routes points to shards with a
+//! splittable hash partitioner ([`kcz_workloads::HashPartitioner`]) and
+//! runs the per-shard inserts concurrently on the shared worker pool;
+//! [`Engine::snapshot`] clones the shard summaries under brief per-shard
+//! locks (ingest on other shards never stalls, and ingest on the same
+//! shard stalls only for the clone, not the merge) and reduces them in a
+//! balanced merge tree on the pool.
+//!
+//! Correctness is the Lemma 4 / Lemma 5 chain exposed by
+//! [`kcz_coreset::MergeableSummary`]: each shard's summary is an
+//! (ε,k,z)-mini-ball covering of its share (budget `z` is valid per
+//! shard because `opt_{k,z}(P_i) ≤ opt_{k,z}(P)` for `P_i ⊆ P`), the
+//! union is a covering of everything ingested, and each of the
+//! `⌈log₂ N⌉` merge generations widens the certified ε′ by `ε/2` — the
+//! widening [`Snapshot::effective_eps`] reports and
+//! [`Snapshot::bound_factor`] turns into the end-to-end `3 + 8ε′` ratio
+//! bound the conformance harness checks.
+
+use kcz_coreset::{end_to_end_factor, MergeableSummary};
+use kcz_kcenter::greedy;
+use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
+use kcz_streaming::InsertionOnlyCoreset;
+use kcz_workloads::{HashPartitioner, ShardKey};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::runtime::{global, Pool};
+
+/// Construction parameters of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Number of shards (independent insertion-only summaries).
+    pub shards: usize,
+    /// Number of centers.
+    pub k: usize,
+    /// Outlier budget (weight).
+    pub z: u64,
+    /// Coreset accuracy parameter handed to every shard.
+    pub eps: f64,
+    /// Seed of the hash partitioner (routing is deterministic given it).
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A config with the given shard count and the catalog's default
+    /// routing seed.
+    pub fn new(shards: usize, k: usize, z: u64, eps: f64) -> Self {
+        EngineConfig {
+            shards,
+            k,
+            z,
+            eps,
+            seed: 0x5EED_0E16,
+        }
+    }
+}
+
+/// Resource accounting of one engine, reported with every snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Total weight ingested so far.
+    pub points: u64,
+    /// Batches accepted so far.
+    pub batches: u64,
+    /// Largest peak storage of any single shard, in words (the paper's
+    /// per-machine measure: shards are machines).
+    pub shard_peak_words: usize,
+    /// Extra words held transiently by this snapshot's merge: the cloned
+    /// shard summaries live alongside the shards until the reduction
+    /// consumes them.
+    pub merge_transient_words: usize,
+    /// Words of the merged summary the snapshot solved on.
+    pub summary_words: usize,
+}
+
+/// One epoch-numbered, fully merged view of everything ingested.
+#[derive(Debug, Clone)]
+pub struct Snapshot<P> {
+    /// Monotonic snapshot counter (1 for the first snapshot).
+    pub epoch: u64,
+    /// Centers solved on the merged summary (Charikar-et-al. greedy).
+    pub centers: Vec<P>,
+    /// Greedy covering radius on the merged summary.
+    pub radius: f64,
+    /// The merged summary's lower bound `r ≤ opt` (radius-doubling
+    /// invariant, maintained through merges).
+    pub radius_bound: f64,
+    /// Summary weight left uncovered by the solve (≤ `z`).
+    pub uncovered: u64,
+    /// The ε′ the merged summary certifies: `ε` for one shard, widened
+    /// by `ε/2` per merge generation (⌈log₂ shards⌉ of them).
+    pub effective_eps: f64,
+    /// The end-to-end certified ratio factor, `3 + 8ε′` (one shared
+    /// derivation: [`kcz_coreset::end_to_end_factor`]).
+    pub bound_factor: f64,
+    /// The merged (ε′,k,z)-coreset itself.
+    pub coreset: Vec<Weighted<P>>,
+    /// Resource accounting at snapshot time.
+    pub stats: EngineStats,
+}
+
+impl<P: SpaceUsage> SpaceUsage for Snapshot<P> {
+    fn words(&self) -> usize {
+        self.centers.iter().map(SpaceUsage::words).sum::<usize>() + self.coreset.words() + 6
+    }
+}
+
+/// A long-lived, sharded clustering engine over one metric space.
+///
+/// `ingest` and `snapshot` take `&self`: the engine is shared across
+/// writer threads as-is (no external lock), and a snapshot can be taken
+/// while other threads keep ingesting.
+pub struct Engine<P, M: MetricSpace<P>> {
+    cfg: EngineConfig,
+    metric: M,
+    router: HashPartitioner,
+    shards: Vec<Mutex<InsertionOnlyCoreset<P, M>>>,
+    points: AtomicU64,
+    batches: AtomicU64,
+    epoch: AtomicU64,
+    /// Serializes epoch assignment with the clone phase, so concurrent
+    /// snapshotters get epoch numbers consistent with snapshot contents
+    /// (the merge and solve still run outside this lock).
+    snapshot_order: Mutex<()>,
+    /// Largest merge transient observed over all snapshots.
+    peak_merge_transient: AtomicUsize,
+    pool: &'static Pool,
+}
+
+impl<P, M> Engine<P, M>
+where
+    P: Clone + SpaceUsage + ShardKey + Send + Sync,
+    M: MetricSpace<P> + Clone,
+{
+    /// Builds the engine: `cfg.shards` empty insertion-only summaries,
+    /// all with identical `(k, z, ε)` so their merges are legal.
+    pub fn new(metric: M, cfg: EngineConfig) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.eps > 0.0 && cfg.eps <= 1.0, "ε must be in (0, 1]");
+        assert!(cfg.k >= 1, "k must be at least 1");
+        let shards = (0..cfg.shards)
+            .map(|_| {
+                Mutex::new(InsertionOnlyCoreset::new(
+                    metric.clone(),
+                    cfg.k,
+                    cfg.z,
+                    cfg.eps,
+                ))
+            })
+            .collect();
+        Engine {
+            router: HashPartitioner::new(cfg.shards, cfg.seed),
+            cfg,
+            metric,
+            shards,
+            points: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            snapshot_order: Mutex::new(()),
+            peak_merge_transient: AtomicUsize::new(0),
+            pool: global(),
+        }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Total weight ingested so far.
+    pub fn points_ingested(&self) -> u64 {
+        self.points.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots taken so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Ingests one batch of unit-weight points: routes every point to its
+    /// shard by value hash, then runs the per-shard insert loops
+    /// concurrently on the pool (each sub-batch takes its shard lock
+    /// once).
+    pub fn ingest(&self, batch: &[P]) {
+        self.ingest_routed(
+            self.router.split_batch(batch),
+            batch.len() as u64,
+            |shard, p| shard.insert(p),
+        );
+    }
+
+    /// Ingests a batch of weighted points (a weight-`w` point is `w`
+    /// co-located unit arrivals, per the paper's weighted formulation).
+    /// Routing keys on the point only, so weighted and unit arrivals of
+    /// the same location always co-locate.
+    pub fn ingest_weighted(&self, batch: &[Weighted<P>]) {
+        let total = batch.iter().map(|wp| wp.weight).sum();
+        self.ingest_routed(self.router.split_batch(batch), total, |shard, wp| {
+            shard.insert_weighted(wp.point, wp.weight)
+        });
+    }
+
+    /// The one ingest tail both entry points share: drop empty sub-
+    /// batches, run the per-shard loops on the pool (one shard-lock
+    /// acquisition per sub-batch), and bump the counters only once the
+    /// whole batch has landed (the mid-burst snapshot semantics the
+    /// concurrency test documents).
+    fn ingest_routed<T: Send>(
+        &self,
+        routed: Vec<Vec<T>>,
+        total: u64,
+        insert: impl Fn(&mut InsertionOnlyCoreset<P, M>, T) + Sync,
+    ) {
+        let jobs: Vec<(usize, Vec<T>)> = routed
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sub)| !sub.is_empty())
+            .collect();
+        if jobs.is_empty() {
+            // An empty flush is a no-op, not an accepted batch.
+            return;
+        }
+        self.pool.scoped_map(jobs, |_, (shard, sub)| {
+            let mut guard = self.shards[shard].lock().expect("shard lock");
+            for item in sub {
+                insert(&mut guard, item);
+            }
+        });
+        self.points.fetch_add(total, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes an epoch-numbered snapshot: clones every shard summary under
+    /// a brief per-shard lock, reduces the clones in a balanced merge
+    /// tree on the pool (ingest proceeds meanwhile), and solves the
+    /// merged coreset with the Charikar-et-al. greedy.
+    ///
+    /// Deterministic given the shard contents: the tree shape depends
+    /// only on the shard count, and each pair merge is a sequential
+    /// recompression.
+    pub fn snapshot(&self) -> Snapshot<P> {
+        // Epoch assignment and the clone phase are serialized together:
+        // otherwise two concurrent snapshotters could draw epochs in one
+        // order and clone in the other, handing epoch n a *later* view
+        // than epoch n+1.  Ingest never takes this lock — it stalls only
+        // on the brief per-shard clone locks below.
+        let (epoch, clones, shard_peak_words) = {
+            let _serialize = self.snapshot_order.lock().expect("snapshot lock");
+            let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            // Phase 1: clone under brief locks, collecting per-shard peaks.
+            let mut clones = Vec::with_capacity(self.cfg.shards);
+            let mut shard_peak_words = 0usize;
+            for shard in &self.shards {
+                let guard = shard.lock().expect("shard lock");
+                shard_peak_words = shard_peak_words.max(guard.peak_words());
+                clones.push(guard.clone());
+            }
+            (epoch, clones, shard_peak_words)
+        };
+        let merge_transient_words: usize = clones.iter().map(|c| c.space_words()).sum();
+        self.peak_merge_transient
+            .fetch_max(merge_transient_words, Ordering::Relaxed);
+
+        // Phase 2: balanced merge tree, one pool round per level.  The
+        // tree shape comes from `kcz_coreset::merge_level` — the same
+        // single definition `merge_tree` folds — so the pool-mapped
+        // reduction is bit-identical to the sequential one and the
+        // ε′-per-generation accounting matches the tree depth.
+        let mut layer = clones;
+        while layer.len() > 1 {
+            layer =
+                self.pool
+                    .scoped_map(kcz_coreset::merge_level(layer), |_, (mut left, right)| {
+                        if let Some(right) = right {
+                            MergeableSummary::merge(&mut left, right);
+                        }
+                        left
+                    });
+        }
+        let merged = layer.pop().expect("at least one shard");
+
+        // Phase 3: solve on the merged summary.
+        let sol = greedy(&self.metric, merged.coreset(), self.cfg.k, self.cfg.z);
+        let effective_eps = merged.effective_eps();
+        Snapshot {
+            epoch,
+            centers: sol.centers,
+            radius: sol.radius,
+            radius_bound: merged.radius_bound(),
+            uncovered: sol.uncovered,
+            effective_eps,
+            bound_factor: end_to_end_factor(effective_eps),
+            stats: EngineStats {
+                shards: self.cfg.shards,
+                points: self.points.load(Ordering::Relaxed),
+                batches: self.batches.load(Ordering::Relaxed),
+                shard_peak_words,
+                merge_transient_words,
+                summary_words: merged.space_words(),
+            },
+            coreset: merged.coreset().to_vec(),
+        }
+    }
+
+    /// Largest merge transient observed over all snapshots so far.
+    pub fn peak_merge_transient_words(&self) -> usize {
+        self.peak_merge_transient.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard summary sizes right now (diagnostics; takes each lock
+    /// briefly).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").coreset().len())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_kcenter::exact_discrete;
+    use kcz_metric::{total_weight, L2};
+
+    /// Two clusters + far outliers, deterministic.
+    fn stream(n: usize) -> Vec<[f64; 2]> {
+        let mut out = Vec::with_capacity(n);
+        let mut s = 0xDEADBEEFu64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            if i % 60 == 59 {
+                out.push([5000.0 + next() * 1000.0, -3000.0]);
+            } else if i % 2 == 0 {
+                out.push([next() * 3.0, next() * 3.0]);
+            } else {
+                out.push([90.0 + next() * 3.0, 90.0 + next() * 3.0]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn weight_preserved_across_shards_and_batches() {
+        let engine = Engine::new(L2, EngineConfig::new(4, 2, 10, 0.5));
+        let pts = stream(500);
+        for batch in pts.chunks(64) {
+            engine.ingest(batch);
+        }
+        assert_eq!(engine.points_ingested(), 500);
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(total_weight(&snap.coreset), 500);
+        assert_eq!(snap.stats.points, 500);
+        assert_eq!(snap.stats.shards, 4);
+        assert!(snap.stats.shard_peak_words > 0);
+        assert!(snap.stats.merge_transient_words >= snap.stats.shard_peak_words);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_in_batching() {
+        let pts = stream(400);
+        let run = |batch_size: usize| {
+            let engine = Engine::new(L2, EngineConfig::new(4, 2, 8, 0.5));
+            for batch in pts.chunks(batch_size) {
+                engine.ingest(batch);
+            }
+            engine.snapshot()
+        };
+        let (a, b) = (run(32), run(127));
+        assert_eq!(a.radius, b.radius);
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.coreset.len(), b.coreset.len());
+        for (x, y) in a.coreset.iter().zip(&b.coreset) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+
+    #[test]
+    fn snapshot_radius_meets_certified_bound() {
+        let pts = stream(220);
+        for shards in [1usize, 4, 8] {
+            let engine = Engine::new(L2, EngineConfig::new(shards, 2, 6, 0.5));
+            for batch in pts.chunks(50) {
+                engine.ingest(batch);
+            }
+            let snap = engine.snapshot();
+            // Re-measure the snapshot's centers on the *full input*.
+            let weighted: Vec<Weighted<[f64; 2]>> =
+                pts.iter().map(|p| Weighted::unit(*p)).collect();
+            let measured = kcz_kcenter::cost_with_outliers(&L2, &weighted, &snap.centers, 6);
+            let opt = exact_discrete(&L2, &weighted, 2, 6, &pts).radius;
+            assert!(
+                measured <= snap.bound_factor * opt + 1e-9,
+                "shards={shards}: {measured} > {}·{opt}",
+                snap.bound_factor
+            );
+            assert!(snap.radius_bound <= opt + 1e-9, "r must lower-bound opt");
+            // ε′ widens only with tree depth.
+            let gens = (shards as f64).log2().ceil();
+            assert!(
+                (snap.effective_eps - (0.5 + gens * 0.25)).abs() < 1e-12,
+                "shards={shards}: ε′ = {}",
+                snap.effective_eps
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_interleave_with_ingest() {
+        let engine = Engine::new(L2, EngineConfig::new(3, 2, 10, 0.5));
+        let pts = stream(600);
+        let mut epochs = Vec::new();
+        for (i, batch) in pts.chunks(100).enumerate() {
+            engine.ingest(batch);
+            if i % 2 == 1 {
+                epochs.push(engine.snapshot().epoch);
+            }
+        }
+        let last = engine.snapshot();
+        assert_eq!(last.epoch, epochs.len() as u64 + 1);
+        assert_eq!(total_weight(&last.coreset), 600);
+        assert!(engine.peak_merge_transient_words() > 0);
+    }
+
+    #[test]
+    fn weighted_ingest_equals_unit_ingest() {
+        let pts = stream(120);
+        let a = Engine::new(L2, EngineConfig::new(4, 2, 6, 0.5));
+        let b = Engine::new(L2, EngineConfig::new(4, 2, 6, 0.5));
+        for batch in pts.chunks(30) {
+            a.ingest(batch);
+            let weighted: Vec<Weighted<[f64; 2]>> =
+                batch.iter().map(|p| Weighted::unit(*p)).collect();
+            b.ingest_weighted(&weighted);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.radius, sb.radius);
+        assert_eq!(total_weight(&sa.coreset), total_weight(&sb.coreset));
+    }
+
+    #[test]
+    fn empty_engine_snapshot_is_sane() {
+        let engine = Engine::<[f64; 2], _>::new(L2, EngineConfig::new(4, 2, 3, 0.5));
+        let snap = engine.snapshot();
+        assert_eq!(snap.coreset.len(), 0);
+        assert_eq!(snap.radius, 0.0);
+        assert_eq!(snap.stats.points, 0);
+    }
+
+    #[test]
+    fn duplicate_heavy_mass_lands_on_one_shard() {
+        // 90% of the mass is one duplicated site: hashing co-locates it,
+        // the skewed shard absorbs it into one representative.
+        let engine = Engine::new(L2, EngineConfig::new(4, 2, 5, 0.5));
+        let mut pts = vec![[100.0, 100.0]; 90];
+        for i in 0..10 {
+            pts.push([i as f64 * 37.0, 900.0]);
+        }
+        engine.ingest(&pts);
+        let sizes = engine.shard_sizes();
+        assert_eq!(sizes.len(), 4);
+        let snap = engine.snapshot();
+        assert_eq!(total_weight(&snap.coreset), 100);
+        let hot = snap
+            .coreset
+            .iter()
+            .find(|w| w.point == [100.0, 100.0])
+            .expect("hot site survives");
+        assert_eq!(hot.weight, 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Engine::<[f64; 2], _>::new(L2, EngineConfig::new(0, 2, 3, 0.5));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        // A timer-driven caller that sometimes flushes empty must not
+        // inflate the "batches accepted" count.
+        let engine = Engine::<[f64; 2], _>::new(L2, EngineConfig::new(3, 2, 3, 0.5));
+        engine.ingest(&[]);
+        engine.ingest_weighted(&[]);
+        let snap = engine.snapshot();
+        assert_eq!(snap.stats.batches, 0);
+        assert_eq!(snap.stats.points, 0);
+        engine.ingest(&[[1.0, 2.0]]);
+        assert_eq!(engine.snapshot().stats.batches, 1);
+    }
+}

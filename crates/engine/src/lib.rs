@@ -1,0 +1,30 @@
+//! Shared execution runtime and the resident sharded ingest engine.
+//!
+//! Two layers, both extracted from patterns the rest of the workspace
+//! already relied on implicitly:
+//!
+//! * [`runtime`] — a persistent worker pool ([`runtime::Pool`]) with an
+//!   order-preserving `scoped_map`, replacing the thread-per-round
+//!   spawning the MPC simulator used to do.  The MPC algorithms, the
+//!   conformance harness's full-tier runs, the experiments driver and
+//!   the engine itself all share one process-wide instance
+//!   ([`runtime::global`]).
+//! * [`engine`] — [`engine::Engine`]: `N` shards of the paper's
+//!   insertion-only streaming coreset behind per-shard locks, batched
+//!   hash-routed ingest, and epoch-numbered snapshots that merge the
+//!   shard summaries (Lemma 4 union + Lemma 5 recompression, tracked by
+//!   [`kcz_coreset::MergeableSummary`]) on the pool without stalling
+//!   ingest.
+//!
+//! The composed-ε arithmetic lives in `kcz-coreset`
+//! ([`kcz_coreset::end_to_end_factor`]); the engine only *reports* the
+//! ε′ its merges produced, so its snapshots are checkable by the same
+//! oracle bounds as every other pipeline.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod runtime;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Snapshot};
+pub use runtime::{global, Pool};

@@ -1,0 +1,155 @@
+//! Deterministic concurrency test: seeded multi-writer ingest under a
+//! fixed interleaving schedule, with a concurrent snapshotter, must
+//! produce a final snapshot whose **re-measured** radius (centers applied
+//! to the full input multiset) satisfies the same oracle-checked ratio
+//! bound the conformance harness enforces for the single-stream
+//! insertion-only pipeline — sharding never worsens the certified bound.
+//!
+//! The schedule is fixed: `ROUNDS` barrier-separated rounds, and in each
+//! round every writer ingests its preassigned batch (seeded generator, no
+//! ambient randomness).  Which writer's batch lands first *within* a
+//! round is up to the scheduler — exactly the nondeterminism the engine
+//! must tolerate: weight conservation and the certified bound are
+//! invariant under it, and the test asserts both across repeated trials.
+
+use kcz_engine::{Engine, EngineConfig};
+use kcz_kcenter::{cost_with_outliers, exact_discrete, uncovered_weight};
+use kcz_metric::{total_weight, unit_weighted, L2};
+use std::sync::Barrier;
+
+const WRITERS: usize = 4;
+const ROUNDS: usize = 6;
+const BATCH: usize = 10;
+const K: usize = 2;
+const Z: u64 = 6;
+const EPS: f64 = 0.5;
+
+/// The fixed schedule: `sched[r][w]` is the batch writer `w` ingests in
+/// round `r`.  Two integer-grid clusters plus far outliers, so the exact
+/// discrete oracle over the distinct points stays cheap.
+fn schedule() -> Vec<Vec<Vec<[f64; 2]>>> {
+    let mut s = 0x5EED_CAFE_u64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..ROUNDS)
+        .map(|_| {
+            (0..WRITERS)
+                .map(|_| {
+                    (0..BATCH)
+                        .map(|_| {
+                            let r = next();
+                            let (x, y) = ((r >> 8) % 6, (r >> 24) % 6);
+                            match r % 40 {
+                                39 => [5000.0 + (r % 7) as f64 * 100.0, -3000.0],
+                                n if n % 2 == 0 => [x as f64, y as f64],
+                                _ => [300.0 + x as f64, 300.0 + y as f64],
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn distinct(points: &[[f64; 2]]) -> Vec<[f64; 2]> {
+    let mut keys: Vec<[u64; 2]> = points
+        .iter()
+        .map(|p| [p[0].to_bits(), p[1].to_bits()])
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.iter()
+        .map(|k| [f64::from_bits(k[0]), f64::from_bits(k[1])])
+        .collect()
+}
+
+#[test]
+fn concurrent_sharded_ingest_meets_certified_bound() {
+    let sched = schedule();
+    let all: Vec<[f64; 2]> = sched
+        .iter()
+        .flat_map(|round| round.iter().flatten().copied())
+        .collect();
+    let n = (WRITERS * ROUNDS * BATCH) as u64;
+    let weighted = unit_weighted(&all);
+    let opt = exact_discrete(&L2, &weighted, K, Z, &distinct(&all)).radius;
+    assert!(opt > 0.0, "oracle must be non-degenerate for a real check");
+
+    // The bound the conformance harness checks for the single-stream
+    // insertion-only pipeline: radius ≤ (3 + 8ε)·opt with ε' = ε.
+    let single_stream_factor = kcz_coreset::end_to_end_factor(EPS);
+
+    for trial in 0..3 {
+        let engine = Engine::new(L2, EngineConfig::new(4, K, Z, EPS));
+        // Writers + one snapshotter rendezvous at every round boundary;
+        // the snapshotter queries *while* the round's batches ingest.
+        let barrier = Barrier::new(WRITERS + 1);
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let (engine, sched, barrier) = (&engine, &sched, &barrier);
+                scope.spawn(move || {
+                    for round in sched.iter() {
+                        barrier.wait();
+                        engine.ingest(&round[w]);
+                    }
+                });
+            }
+            let (engine, barrier) = (&engine, &barrier);
+            scope.spawn(move || {
+                let mut last_epoch = 0;
+                let mut last_weight = 0;
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    let snap = engine.snapshot();
+                    assert!(snap.epoch > last_epoch, "epochs must be monotonic");
+                    last_epoch = snap.epoch;
+                    // A mid-burst snapshot sees a per-shard prefix of the
+                    // arrivals (shards are cloned one at a time while
+                    // writers keep ingesting, and the `points` counter is
+                    // only bumped once a batch fully lands, so comparing
+                    // the two mid-burst would race).  What *is* invariant:
+                    // the summarized weight never shrinks, and never
+                    // exceeds what will ultimately arrive.
+                    let weight = total_weight(&snap.coreset);
+                    assert!(weight >= last_weight, "summaries must only grow");
+                    assert!(weight <= (WRITERS * ROUNDS * BATCH) as u64);
+                    last_weight = weight;
+                }
+            });
+        });
+
+        let snap = engine.snapshot();
+        // Weight conservation: every arrival of every writer is in the
+        // merged summary, no matter how the rounds interleaved.
+        assert_eq!(total_weight(&snap.coreset), n, "trial {trial}");
+        assert_eq!(engine.points_ingested(), n, "trial {trial}");
+
+        // Re-measure the snapshot's centers on the full input.
+        let measured = cost_with_outliers(&L2, &weighted, &snap.centers, Z);
+        assert!(
+            uncovered_weight(&L2, &weighted, &snap.centers, measured) <= Z,
+            "trial {trial}"
+        );
+        // The engine's own certified bound (ε' widened by the merge
+        // tree) must hold...
+        assert!(
+            measured <= snap.bound_factor * opt + 1e-9,
+            "trial {trial}: {measured} > {}·{opt}",
+            snap.bound_factor
+        );
+        // ...and sharding must not push the answer past the bound the
+        // harness checks for the *single-stream* pipeline on this
+        // instance.
+        assert!(
+            measured <= single_stream_factor * opt + 1e-9,
+            "trial {trial}: {measured} > {single_stream_factor}·{opt}"
+        );
+        // The merged lower bound never overshoots the true optimum.
+        assert!(snap.radius_bound <= opt + 1e-9, "trial {trial}");
+    }
+}

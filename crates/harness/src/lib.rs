@@ -6,7 +6,8 @@
 //! annuli, two-scale clusters, duplicate mass, colinear sets, outlier
 //! bursts, drift-with-churn), one [`Pipeline`] trait adapting every
 //! solver — offline Charikar/Gonzalez, insertion-only, sliding-window,
-//! fully dynamic, and the four MPC algorithms — to a single
+//! fully dynamic, the four MPC algorithms, and the resident sharded
+//! engine — to a single
 //! `run(scenario) → Verdict` surface, and a judge
 //! ([`run_conformance`] / [`ConformanceReport::violations`]) that checks
 //! every verdict's radius against the exact discrete optimum and the

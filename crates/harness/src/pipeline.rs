@@ -25,14 +25,17 @@
 //! | `mpc/one-round`    | Theorem 33 (random distribution w.h.p.) | `(3+8ε')·opt` |
 //! | `mpc/r-round`      | Theorem 35 (`(1+ε)^R−1` composition) | `(3+8ε')·opt`, `ε' = (1+ε)^R−1` |
 //! | `mpc/baseline`     | Ceccarello et al. 1-round (`(k+z)/ε^d` space) | `(3+8ε')·opt` |
+//! | `engine/sharded`   | Lemma 4/5 shard merges ([`kcz_coreset::MergeableSummary`]) | `(3+8ε')·opt`, `ε' = (1+⌈log₂s⌉/2)·ε` |
 //!
-//! The coreset factor `3 + 8ε'` is the end-to-end chain with a one-ε
-//! margin: Charikar-greedy on the summary is a 3-approximation of the
-//! summary's discrete optimum, shifting the true optimal centers onto
-//! their representatives costs `2δ`, and reading the summary's radius
-//! back on the input costs another `δ`, where `δ ≤ ε'·opt` is the
-//! covering drift — `3(opt + 2δ) + δ ≤ (3 + 7ε')·opt`.
+//! The coreset factor `3 + 8ε'` is one shared derivation,
+//! [`kcz_coreset::end_to_end_factor`] (see its docs for the
+//! `(3 + 7ε')·opt` chain plus the one-ε' margin); every adapter feeds it
+//! the ε' its summary *actually certifies* — the summary's own
+//! `effective_eps` bookkeeping, not a per-pipeline formula re-derived
+//! here.
 
+use kcz_coreset::end_to_end_factor;
+use kcz_engine::{Engine, EngineConfig};
 use kcz_kcenter::charikar::GreedyParams;
 use kcz_kcenter::{cost_with_outliers, farthest_first, greedy, uncovered_weight};
 use kcz_metric::{stats, total_weight, SpaceUsage, Weighted, L2};
@@ -51,6 +54,8 @@ pub enum Model {
     Streaming,
     /// Massively parallel (simulated rounds).
     Mpc,
+    /// Resident sharded ingest engine (concurrent batched streams).
+    Engine,
 }
 
 impl Model {
@@ -60,6 +65,7 @@ impl Model {
             Model::Offline => "offline",
             Model::Streaming => "streaming",
             Model::Mpc => "mpc",
+            Model::Engine => "engine",
         }
     }
 }
@@ -121,6 +127,7 @@ pub fn all_pipelines() -> Vec<Box<dyn Pipeline>> {
         Box::new(MpcPipeline::OneRound),
         Box::new(MpcPipeline::RRound),
         Box::new(MpcPipeline::Baseline),
+        Box::new(EnginePipeline),
     ]
 }
 
@@ -177,12 +184,12 @@ fn verdict(
     }
 }
 
-/// The end-to-end coreset bound `3 + 8ε'` (see the module docs for the
-/// `3 + 7ε'` derivation; one extra ε' of margin absorbs second-order
-/// terms like the sliding window's weight clamping).
+/// The end-to-end coreset bound `3 + 8ε'`, with the factor supplied by
+/// the one shared derivation in [`kcz_coreset::end_to_end_factor`] — the
+/// same arithmetic the MPC coordinators and the resident engine report.
 fn coreset_bound(effective_eps: f64, additive: f64) -> Option<RadiusBound> {
     Some(RadiusBound {
-        factor: 3.0 + 8.0 * effective_eps + TOL,
+        factor: end_to_end_factor(effective_eps) + TOL,
         additive: additive + TOL,
     })
 }
@@ -270,6 +277,8 @@ impl Pipeline for InsertionPipeline {
             alg.insert(*p);
         }
         let sol = greedy(&L2, alg.coreset(), sc.k, sc.z);
+        // ε' from the summary's own bookkeeping (= ε for a pure stream).
+        let bound = coreset_bound(alg.effective_eps(), 0.0);
         verdict(
             self.name(),
             sc,
@@ -277,7 +286,7 @@ impl Pipeline for InsertionPipeline {
             alg.coreset().len(),
             alg.peak_words(),
             0,
-            coreset_bound(sc.eps, 0.0),
+            bound,
         )
     }
 }
@@ -436,6 +445,60 @@ impl Pipeline for MpcPipeline {
     }
 }
 
+// ---------------------------------------------------------------- engine
+
+/// The resident sharded ingest engine: `machines` shards of the
+/// insertion-only coreset behind the value-hash router, batched ingest on
+/// the shared worker pool, one merged snapshot at end of stream.  For
+/// scenarios flagged `mid_snapshots` (churn-under-snapshot) a snapshot is
+/// additionally taken after every batch, so the final verdict comes from
+/// an engine that kept answering queries mid-burst.
+///
+/// The certified ε′ is the merged summary's own bookkeeping (ε widened by
+/// ε/2 per merge generation, ⌈log₂ shards⌉ of them) — sharding shows up
+/// in the bound's factor, and conformance checks it against the same
+/// oracle as the single-stream pipeline.
+struct EnginePipeline;
+
+/// Batch size the adapter feeds the engine with (small enough that every
+/// catalog scenario spans several batches).
+const ENGINE_BATCH: usize = 16;
+
+impl Pipeline for EnginePipeline {
+    fn name(&self) -> &'static str {
+        "engine/sharded"
+    }
+    fn model(&self) -> Model {
+        Model::Engine
+    }
+    fn run(&self, sc: &Scenario) -> Verdict {
+        let engine = Engine::new(L2, EngineConfig::new(sc.machines, sc.k, sc.z, sc.eps));
+        for batch in sc.points.chunks(ENGINE_BATCH) {
+            engine.ingest(batch);
+            if sc.mid_snapshots {
+                // Churn-under-snapshot: the query path must not disturb
+                // ingest; only the last snapshot feeds the verdict.
+                let _ = engine.snapshot();
+            }
+        }
+        let snap = engine.snapshot();
+        verdict(
+            self.name(),
+            sc,
+            &snap.centers,
+            snap.coreset.len(),
+            // Per-machine measure: worst shard, or the coordinator-side
+            // merge transient, whichever peaked higher (the MPC
+            // convention applied to the resident engine).
+            snap.stats
+                .shard_peak_words
+                .max(snap.stats.merge_transient_words),
+            0,
+            coreset_bound(snap.effective_eps, 0.0),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,7 +512,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), ps.len(), "duplicate pipeline name");
-        for m in [Model::Offline, Model::Streaming, Model::Mpc] {
+        for m in [Model::Offline, Model::Streaming, Model::Mpc, Model::Engine] {
             assert!(ps.iter().any(|p| p.model() == m), "no pipeline for {m:?}");
         }
     }

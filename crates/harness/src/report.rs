@@ -56,21 +56,24 @@ pub fn exact_radius(sc: &Scenario) -> Option<f64> {
 }
 
 /// Runs every pipeline over the tier's catalog.
+///
+/// Scenarios are mapped over the workspace's shared worker pool
+/// ([`kcz_engine::runtime::global`]) — the full tier's large instances
+/// run concurrently, and `scoped_map`'s order preservation keeps the
+/// report (and thus the golden JSON) deterministic.  Pipelines that fan
+/// out internally (MPC rounds, engine shards) nest on the same pool.
 pub fn run_conformance(tier: Tier) -> ConformanceReport {
     let pipelines = all_pipelines();
     let names: Vec<&'static str> = pipelines.iter().map(|p| p.name()).collect();
-    let scenarios = catalog(tier)
-        .into_iter()
-        .map(|sc| {
-            let exact = exact_radius(&sc);
-            let verdicts = pipelines.iter().map(|p| p.run(&sc)).collect();
-            ScenarioReport {
-                scenario: sc,
-                exact,
-                verdicts,
-            }
-        })
-        .collect();
+    let scenarios = kcz_engine::runtime::global().scoped_map(catalog(tier), |_, sc| {
+        let exact = exact_radius(&sc);
+        let verdicts = pipelines.iter().map(|p| p.run(&sc)).collect();
+        ScenarioReport {
+            scenario: sc,
+            exact,
+            verdicts,
+        }
+    });
     ConformanceReport {
         tier,
         pipelines: names,

@@ -58,6 +58,10 @@ pub struct Scenario {
     pub oracle: bool,
     /// Seed the scenario's generators were run with.
     pub seed: u64,
+    /// Whether the resident-engine adapter should take a snapshot after
+    /// every ingested batch (the churn-under-snapshot stress): queries
+    /// issued mid-burst must not disturb ingest or the certified bound.
+    pub mid_snapshots: bool,
 }
 
 impl Scenario {
@@ -151,6 +155,7 @@ fn scenario(
         side_bits: SIDE_BITS,
         oracle,
         seed,
+        mid_snapshots: false,
     }
 }
 
@@ -324,6 +329,41 @@ pub fn catalog(tier: Tier) -> Vec<Scenario> {
             false,
             0xB3,
         ));
+
+        // Engine stressor: 90% of the mass is one duplicated site, so
+        // value-hash routing lands it all on a single shard.  The skewed
+        // shard must absorb the mass into one representative while the
+        // scatter keeps the other shards live; interleaved arrival makes
+        // every ingest batch skewed, not just the stream as a whole.
+        let mut hot = Vec::with_capacity(500);
+        for p in annulus(50, [1000.0, 1000.0], 0.0, 400.0, 0xB4) {
+            hot.extend([[5000.0, 5000.0]; 9]);
+            hot.push(p);
+        }
+        out.push(scenario(
+            "hot_shard_skew",
+            "450 copies of one site (one hot shard) + 50 scattered points",
+            hot,
+            3,
+            10,
+            true,
+            0xB4,
+        ));
+
+        // Engine stressor: snapshots taken after every batch, including
+        // mid-burst — the query path (clone + merge-tree + solve) must
+        // not disturb ingest or the certified bound.
+        let mut churn = scenario(
+            "churn_under_snapshot",
+            "two clusters, 8 consecutive far outliers mid-stream; snapshot per batch",
+            outlier_burst(192, 8, 60, 4.0, 0xB5),
+            2,
+            8,
+            true,
+            0xB5,
+        );
+        churn.mid_snapshots = true;
+        out.push(churn);
     }
     out
 }

@@ -25,6 +25,7 @@ fn scenario(points: Vec<[f64; 2]>, k: usize, z: u64, side_bits: u32) -> Scenario
         side_bits,
         oracle: false,
         seed: 0x11E7A,
+        mid_snapshots: false,
     }
 }
 
@@ -71,10 +72,13 @@ fn power_of_two_scaling_is_exact_for_continuous_pipelines() {
     let sc2 = scenario(scaled, 3, 8, SIDE_BITS + 1);
     for p in all_pipelines() {
         let (a, b) = (p.run(&sc), p.run(&sc2));
-        if p.name() == "stream/dynamic" {
-            // Grid cells do not scale with the data, so only the band is
-            // preserved, not bit-exactness.  The optima differ by exactly
-            // 2x here, so the same-optimum helper does not apply:
+        if p.name() == "stream/dynamic" || p.name() == "engine/sharded" {
+            // Not bit-exact under scaling, but band-preserving: the
+            // dynamic sketch's grid cells do not scale with the data,
+            // and the engine's value-hash router keys on coordinate bit
+            // patterns, so doubled inputs route to different shards.
+            // The optima differ by exactly 2x here, so the same-optimum
+            // helper does not apply:
             // b.radius ≤ factor·opt₂ᵈ + add = 2·factor·opt₁ᵈ + add
             //          ≤ 4·factor·a.radius + add   (a.radius ≥ opt₁ᵈ/2)
             // a.radius ≤ factor·opt₁ᵈ + add ≤ factor·b.radius + add

@@ -187,6 +187,19 @@ pub trait MetricSpace<P>: Send + Sync {
         pts.iter().position(|w| self.within(q, &w.point, r))
     }
 
+    /// [`dist_many`](Self::dist_many) over a weighted slice, scanning the
+    /// `point` fields without materializing a bare point array.  Returns
+    /// exactly the scalar distances; the Euclidean overrides defer the
+    /// `sqrt` like `dist_many` does.  This is the borrow-only path
+    /// summary structures use to scan their own representatives (e.g.
+    /// radius establishment in the streaming coreset) without cloning
+    /// every point per call.
+    fn dist_many_weighted(&self, q: &P, pts: &[Weighted<P>], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(pts.len());
+        out.extend(pts.iter().map(|p| self.dist(q, &p.point)));
+    }
+
     /// [`nearest`](Self::nearest) over a weighted slice, scanning the
     /// `point` fields.  The returned distance equals the scalar `dist`.
     fn nearest_weighted(&self, q: &P, pts: &[Weighted<P>]) -> Option<(usize, f64)> {
@@ -365,6 +378,17 @@ macro_rules! euclidean_batch_kernels {
                 }
             }
             best.map(|(i, s)| (i, s.sqrt()))
+        }
+
+        fn dist_many_weighted(&self, q: &$pt, pts: &[Weighted<$pt>], out: &mut Vec<f64>) {
+            out.clear();
+            out.resize(pts.len(), 0.0);
+            for (o, p) in out.iter_mut().zip(pts) {
+                *o = $sq(q, &p.point);
+            }
+            for v in out.iter_mut() {
+                *v = v.sqrt();
+            }
         }
     };
 }
@@ -709,5 +733,24 @@ mod tests {
         let (i, d) = L2.nearest_weighted(&[4.0, 4.0], &pts).unwrap();
         assert_eq!(i, 0);
         assert_eq!(d, L2.dist(&[4.0, 4.0], &[5.0, 5.0]));
+    }
+
+    #[test]
+    fn dist_many_weighted_matches_scalar_exactly() {
+        let q = [1.5, -2.25];
+        let pts = vec![
+            Weighted::new([0.0, 0.0], 1),
+            Weighted::new([3.0, 4.0], 7),
+            Weighted::new([1.5, -2.25], 2),
+        ];
+        let mut out = Vec::new();
+        L2.dist_many_weighted(&q, &pts, &mut out);
+        for (p, &d) in pts.iter().zip(&out) {
+            assert_eq!(d, L2.dist(&q, &p.point));
+        }
+        Linf.dist_many_weighted(&q, &pts, &mut out);
+        for (p, &d) in pts.iter().zip(&out) {
+            assert_eq!(d, Linf.dist(&q, &p.point));
+        }
     }
 }

@@ -1,13 +1,21 @@
 //! Round executor and storage/communication accounting.
 //!
 //! Machine-local computations within a round are independent, so the
-//! executor fans them out over OS threads (an atomic task cursor feeds a
-//! small worker pool).  Storage is accounted in machine words via
+//! executor fans them out over the workspace's shared persistent worker
+//! pool ([`kcz_engine::runtime`]) — one pool for every round of every
+//! algorithm, instead of the thread-per-round spawning this module used
+//! to do itself.  Storage is accounted in machine words via
 //! [`kcz_metric::SpaceUsage`]: a machine's footprint in a round is
 //! everything it holds when the round ends — its local input plus every
 //! message it received.
 
 use kcz_metric::{SpaceUsage, Weighted};
+
+/// The shared runtime every MPC round executes on: the process-wide
+/// persistent pool of [`kcz_engine::runtime::global`].
+pub fn pool() -> &'static kcz_engine::runtime::Pool {
+    kcz_engine::runtime::global()
+}
 
 /// Resource metrics of one simulated MPC execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -39,53 +47,19 @@ pub struct MpcCoreset<P> {
     pub stats: MpcRunStats,
 }
 
-/// Applies `f` to every item in parallel, preserving order.
+/// Applies `f` to every item in parallel on the shared runtime,
+/// preserving order.
 ///
 /// This is the simulator's "round": each item is one machine's local
-/// computation.  Threads default to the available parallelism.
+/// computation, dispatched through the persistent pool (no per-round
+/// thread spawning).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4)
-        .min(n);
-    if threads <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| f(i, t))
-            .collect();
-    }
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let (tasks, results, cursor, f) = (&tasks, &results, &cursor, &f);
-            s.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let t = tasks[i].lock().unwrap().take().expect("task taken once");
-                *results[i].lock().unwrap() = Some(f(i, t));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every task completed"))
-        .collect()
+    pool().scoped_map(items, f)
 }
 
 /// Words of a point slice (a machine's raw local input).

@@ -7,8 +7,9 @@
 //! performance measures are (i) the number of rounds, (ii) the worker and
 //! coordinator storage, and (iii) the size of the final coreset — all of
 //! which the simulator in [`exec`] accounts exactly, while actually
-//! executing each round's machine-local computation in parallel OS threads
-//! (substitution #1 in `DESIGN.md`).
+//! executing each round's machine-local computation on the workspace's
+//! shared persistent worker pool (`kcz_engine::runtime`; substitution #1
+//! in `DESIGN.md`).
 //!
 //! Algorithms:
 //!
@@ -34,7 +35,7 @@ pub mod r_round;
 pub mod two_round;
 
 pub use baseline::ceccarello_one_round;
-pub use exec::{parallel_map, MpcCoreset, MpcRunStats};
+pub use exec::{parallel_map, pool, MpcCoreset, MpcRunStats};
 pub use one_round::one_round_randomized;
 pub use r_round::r_round;
 pub use two_round::two_round;

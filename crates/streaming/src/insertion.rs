@@ -15,7 +15,7 @@
 //! with different settings, which is exactly how they differ in the
 //! literature (see `DESIGN.md`).
 
-use kcz_coreset::{streaming_capacity, update_coreset};
+use kcz_coreset::{streaming_capacity, update_coreset, MergeableSummary};
 use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
 
 /// Radius-doubling streaming engine (Algorithm 3 generalized over the
@@ -70,7 +70,9 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
     ///
     /// Each merge generation adds one `a·r` term to the drift bound
     /// (mirroring the `(1+ε)^R − 1` composition of Theorem 35), which
-    /// [`Self::drift_bound`] tracks.
+    /// [`Self::drift_bound`] tracks.  Merging with an empty side is a
+    /// union with ∅ — content and drift are both unchanged, so sharded
+    /// engines with idle shards pay no spurious ε′ widening.
     pub fn merge(&mut self, other: DoublingCoreset<P, M>) {
         assert!(
             self.k == other.k
@@ -79,6 +81,23 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
                 && self.capacity == other.capacity,
             "merge requires identical (k, z, absorb, capacity) parameters"
         );
+        // Metrics of the same type can still disagree on the one
+        // observable parameter (doubling dimension, e.g. differently
+        // configured grid metrics); the capacity arithmetic assumes it
+        // matches.
+        assert!(
+            kcz_coreset::merge::compatible_metrics(&self.metric, &other.metric),
+            "merge requires metrics of the same doubling dimension"
+        );
+        if other.n_seen == 0 {
+            return;
+        }
+        if self.n_seen == 0 {
+            let peak = self.peak_words.max(other.peak_words);
+            *self = other;
+            self.peak_words = peak.max(self.space_words());
+            return;
+        }
         self.n_seen += other.n_seen;
         self.r = self.r.max(other.r);
         self.drift_factor = self.drift_factor.max(other.drift_factor) + 1.0;
@@ -140,11 +159,12 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
     }
 
     /// Smallest positive pairwise distance among the representatives,
-    /// computed with one batched row kernel per point.  Called only at
-    /// radius establishment (line 5–7) and on pre-radius merges.
+    /// computed with one batched row kernel per point directly over the
+    /// weighted array (no per-call clone of every representative).
+    /// Called only at radius establishment (line 5–7) and on pre-radius
+    /// merges.
     fn min_pairwise(&self) -> Option<f64> {
-        let pts: Vec<P> = self.reps.iter().map(|w| w.point.clone()).collect();
-        kcz_metric::stats::min_pairwise_distance(&self.metric, &pts)
+        kcz_metric::stats::min_pairwise_distance_weighted(&self.metric, &self.reps)
     }
 
     /// The current coreset `P*`.
@@ -174,6 +194,14 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
         self.drift_factor * self.absorb * self.r
     }
 
+    /// The ε′ this summary currently guarantees: with `r ≤ opt` the
+    /// covering drift is ≤ `drift_factor·a·r ≤ (drift_factor·a)·opt`.
+    /// For a pure stream with `a = ε/2` this is exactly `ε`; each merge
+    /// generation widens it by `a`.
+    pub fn effective_eps(&self) -> f64 {
+        self.drift_factor * self.absorb
+    }
+
     /// Current storage in machine words.
     pub fn space_words(&self) -> usize {
         self.reps.words() + 6
@@ -182,6 +210,20 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> DoublingCoreset<P, M> {
     /// Maximum storage observed over the stream so far.
     pub fn peak_words(&self) -> usize {
         self.peak_words
+    }
+}
+
+impl<P: Clone + SpaceUsage, M: MetricSpace<P>> MergeableSummary for DoublingCoreset<P, M> {
+    fn merge(&mut self, other: Self) {
+        DoublingCoreset::merge(self, other);
+    }
+
+    fn effective_eps(&self) -> f64 {
+        DoublingCoreset::effective_eps(self)
+    }
+
+    fn words(&self) -> usize {
+        self.space_words()
     }
 }
 
@@ -223,9 +265,27 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> InsertionOnlyCoreset<P, M> {
         self.inner.coreset()
     }
 
-    /// The ε this structure guarantees.
+    /// The ε this structure was built for.
     pub fn eps(&self) -> f64 {
         self.eps
+    }
+
+    /// The ε′ the summary currently guarantees — `ε` for a pure stream,
+    /// widened by `ε/2` per merge generation (see
+    /// [`DoublingCoreset::effective_eps`]).
+    pub fn effective_eps(&self) -> f64 {
+        self.inner.effective_eps()
+    }
+
+    /// Merges another summary built with identical `(k, z, ε)` and the
+    /// same doubling dimension — the sharded-ingest path (Lemma 4 union
+    /// + one recompression, tracked by `effective_eps`).
+    pub fn merge(&mut self, other: Self) {
+        assert!(
+            self.eps == other.eps,
+            "merge requires identical ε parameters"
+        );
+        self.inner.merge(other.inner);
     }
 
     /// Lower bound `r ≤ opt`.
@@ -257,6 +317,20 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> InsertionOnlyCoreset<P, M> {
     /// Points consumed.
     pub fn points_seen(&self) -> u64 {
         self.inner.points_seen()
+    }
+}
+
+impl<P: Clone + SpaceUsage, M: MetricSpace<P>> MergeableSummary for InsertionOnlyCoreset<P, M> {
+    fn merge(&mut self, other: Self) {
+        InsertionOnlyCoreset::merge(self, other);
+    }
+
+    fn effective_eps(&self) -> f64 {
+        InsertionOnlyCoreset::effective_eps(self)
+    }
+
+    fn words(&self) -> usize {
+        self.space_words()
     }
 }
 
@@ -426,6 +500,50 @@ mod tests {
         // Content may be re-clustered but weight and covering stay intact;
         // with an empty other side and unchanged r, reps are preserved.
         assert_eq!(a.coreset().len(), before.len());
+    }
+
+    #[test]
+    fn empty_merge_does_not_widen_drift() {
+        let pts = stream(120);
+        let mk = || DoublingCoreset::<[f64; 2], _>::new(L2, 2, 4, 0.25, 120);
+        let mut a = mk();
+        for p in &pts {
+            a.insert(*p);
+        }
+        let eps_before = a.effective_eps();
+        a.merge(mk()); // union with ∅
+        assert_eq!(a.effective_eps(), eps_before);
+        let mut empty = mk();
+        empty.merge(a.clone()); // ∅ absorbing a summary adopts it as-is
+        assert_eq!(empty.effective_eps(), eps_before);
+        assert_eq!(total_weight(empty.coreset()), 120);
+    }
+
+    #[test]
+    fn effective_eps_tracks_merge_generations() {
+        let pts = stream(300);
+        let eps = 0.5;
+        let mk = || InsertionOnlyCoreset::new(L2, 2, 8, eps);
+        let mut a = mk();
+        let mut b = mk();
+        for p in &pts[..150] {
+            a.insert(*p);
+        }
+        for p in &pts[150..] {
+            b.insert(*p);
+        }
+        // Pure streams certify exactly ε.
+        assert!((a.effective_eps() - eps).abs() < 1e-12);
+        a.merge(b);
+        // One merge generation widens by a = ε/2.
+        assert!((a.effective_eps() - 1.5 * eps).abs() < 1e-12);
+        assert_eq!(total_weight(a.coreset()), 300);
+        // The trait surface agrees with the inherent methods.
+        assert_eq!(
+            MergeableSummary::effective_eps(&a),
+            InsertionOnlyCoreset::effective_eps(&a)
+        );
+        assert_eq!(MergeableSummary::words(&a), a.space_words());
     }
 
     #[test]

@@ -15,5 +15,7 @@ pub use generators::{
     annulus, colinear, duplicate_heavy, gaussian_clusters, grid_clusters, outlier_burst,
     two_scale_clusters, uniform_box, ClusteredInstance,
 };
-pub use partition::{concentrated_partition, random_partition, round_robin};
+pub use partition::{
+    concentrated_partition, random_partition, round_robin, HashPartitioner, ShardKey,
+};
 pub use streams::{churn_schedule, drifting_stream, shuffled, DynamicOp};

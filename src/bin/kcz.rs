@@ -9,11 +9,16 @@
 //! kcz stream  --input pts.csv --k 3 --z 10 --eps 0.5
 //! kcz mpc     --input pts.csv --k 3 --z 10 --eps 0.5 --machines 8 \
 //!             [--algorithm two_round|one_round|rround|baseline] [--rounds 3]
+//! kcz engine  --shards 4 --batch 256 --k 3 --z 10 --eps 0.5 [< pts.csv]
 //! kcz conformance [--tier smoke|full] [--json <path>]
 //! ```
 //!
 //! `solve` runs the Charikar-et-al. greedy on an (ε,k,z)-coreset (or on
 //! the raw input when `--eps` is omitted) and prints centers + radius.
+//! `engine` feeds the stream (stdin when `--input` is omitted) through
+//! the resident sharded engine in `--batch`-sized batches and prints the
+//! final snapshot — merged coreset size, per-shard peak words, the
+//! merge-composed ε′ and its certified `3 + 8ε′` bound factor.
 //! `conformance` runs every pipeline over the shared scenario catalog and
 //! checks each radius against its paper ratio bound (exit 3 on any
 //! violation).
@@ -42,6 +47,8 @@ const USAGE: &str = "usage:
   kcz stream  --input <csv> --k <K> --z <Z> --eps <EPS>
   kcz mpc     --input <csv> --k <K> --z <Z> --eps <EPS> --machines <M>
               [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]
+  kcz engine  --shards <N> --batch <B> --k <K> --z <Z> --eps <EPS>
+              [--input <csv>]   (reads stdin when --input is omitted)
   kcz conformance [--tier smoke|full] [--json <path>]
   (point subcommands accept --metric l2|linf; the default is l2)";
 
@@ -53,8 +60,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if cmd == "conformance" {
         return run_conformance_cmd(&flags);
     }
-    let input = flags.get("input").ok_or("missing --input")?.clone();
-    let points = read_csv(&input)?;
+    // `engine` is the one subcommand meant to sit at the end of a pipe
+    // (`kcz engine … < stream.csv`); everything else requires --input.
+    let (input, points) = match flags.get("input") {
+        Some(path) => (path.clone(), read_csv(path)?),
+        None if cmd == "engine" => {
+            let mut body = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut body)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            ("<stdin>".to_string(), parse_csv("<stdin>", &body)?)
+        }
+        None => return Err("missing --input".into()),
+    };
     if points.is_empty() {
         return Err(format!("no points in {input}"));
     }
@@ -128,7 +145,7 @@ fn run_conformance_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, Stri
 /// Runs one subcommand under the chosen metric (the whole pipeline —
 /// coreset constructions, solvers, streaming, MPC — routes through the
 /// batched `MetricSpace` kernels of the chosen metric).
-fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
+fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy + Send + Sync>(
     metric: M,
     cmd: &str,
     flags: &HashMap<String, String>,
@@ -243,6 +260,49 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy>(
             );
             Ok(ExitCode::SUCCESS)
         }
+        "engine" => {
+            let eps = parse_eps(flags)?;
+            let shards: usize = parse(flags, "shards")?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            let batch: usize = parse(flags, "batch")?;
+            if batch == 0 {
+                return Err("--batch must be at least 1".into());
+            }
+            let t0 = std::time::Instant::now();
+            let engine = Engine::new(metric, EngineConfig::new(shards, k, z, eps));
+            for chunk in points.chunks(batch) {
+                engine.ingest_weighted(chunk);
+            }
+            let snap = engine.snapshot();
+            println!(
+                "engine: shards={shards}  batch={batch}  points={}  batches={}  epoch={}",
+                snap.stats.points, snap.stats.batches, snap.epoch
+            );
+            println!(
+                "coreset: {}  shard_peak_words: {}  merge_words: {}  effective_eps: {:.6}",
+                snap.coreset.len(),
+                snap.stats.shard_peak_words,
+                snap.stats.merge_transient_words,
+                snap.effective_eps
+            );
+            println!(
+                "radius: {:.6}  bound_factor: {:.6}",
+                snap.radius, snap.bound_factor
+            );
+            println!("uncovered_weight: {}", snap.uncovered);
+            for c in &snap.centers {
+                println!("center: {},{}", c[0], c[1]);
+            }
+            eprintln!(
+                "(ingested {} points in {:.1?}; snapshot merged {} shards)",
+                snap.stats.points,
+                t0.elapsed(),
+                shards
+            );
+            Ok(ExitCode::SUCCESS)
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -279,6 +339,10 @@ fn parse_eps(flags: &HashMap<String, String>) -> Result<f64, String> {
 
 fn read_csv(path: &str) -> Result<Vec<Weighted<[f64; 2]>>, String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_csv(path, &body)
+}
+
+fn parse_csv(path: &str, body: &str) -> Result<Vec<Weighted<[f64; 2]>>, String> {
     let mut out = Vec::new();
     for (lineno, line) in body.lines().enumerate() {
         let line = line.trim();

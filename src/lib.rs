@@ -20,10 +20,11 @@
 //! | [`coreset`] | mini-ball coverings: `MBCConstruction` (Alg. 1), `UpdateCoreset` (Alg. 4), index-accelerated sweeps, composition lemmas, validators |
 //! | [`mpc`] | MPC simulator + the 2-round (Alg. 2), randomized 1-round (Alg. 6), R-round (Alg. 7) algorithms and the CPP19 baseline |
 //! | [`streaming`] | insertion-only (Alg. 3), fully dynamic (Alg. 5), sliding-window structures and streaming baselines |
+//! | [`engine`] | shared execution runtime (persistent worker pool) + the resident sharded ingest engine (`kcz engine`) built on [`coreset::MergeableSummary`] |
 //! | [`sketch`] | turnstile substrates: s-sparse recovery, F₀ estimation with deletions |
 //! | [`lowerbounds`] | the paper's lower-bound constructions as adversarial generators |
 //! | [`workloads`] | reproducible synthetic data, partitions, stream schedules, adversarial generators |
-//! | [`harness`] | cross-model conformance: scenario catalog, `Pipeline` adapters for all nine solvers, oracle-checked ratio bounds (`kcz conformance`) |
+//! | [`harness`] | cross-model conformance: scenario catalog, `Pipeline` adapters for all ten pipelines, oracle-checked ratio bounds (`kcz conformance`) |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 //! ```
 
 pub use kcz_coreset as coreset;
+pub use kcz_engine as engine;
 pub use kcz_harness as harness;
 pub use kcz_kcenter as kcenter;
 pub use kcz_lowerbounds as lowerbounds;
@@ -57,7 +59,11 @@ pub use kcz_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use kcz_coreset::validate::{covering_radius, validate_coreset};
-    pub use kcz_coreset::{mbc_construction, streaming_capacity, update_coreset, MiniBallCovering};
+    pub use kcz_coreset::{
+        end_to_end_factor, mbc_construction, streaming_capacity, update_coreset, MergeableSummary,
+        MiniBallCovering,
+    };
+    pub use kcz_engine::{Engine, EngineConfig, EngineStats, Snapshot};
     pub use kcz_harness::{
         all_pipelines, catalog, run_conformance, ConformanceReport, Pipeline, Scenario, Tier,
         Verdict,

@@ -416,3 +416,124 @@ fn bad_inputs_fail_cleanly() {
         );
     }
 }
+
+#[test]
+fn engine_golden_output_on_committed_fixture() {
+    // The resident engine is deterministic end to end (value-hash
+    // routing with a fixed seed, order-preserving pool map, balanced
+    // merge tree), so the full stdout for the committed fixture is
+    // pinned byte-for-byte — the same stream the CI `engine-smoke` step
+    // pipes through `kcz engine --shards 4 --batch 256`.
+    use std::process::Stdio;
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_golden.txt"
+    );
+    let child = kcz()
+        .args([
+            "engine", "--shards", "4", "--batch", "256", "--k", "2", "--z", "1", "--eps", "0.5",
+        ])
+        .stdin(Stdio::from(std::fs::File::open(fixture).unwrap()))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("run kcz engine");
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let expected = std::fs::read_to_string(golden).unwrap();
+    assert_eq!(
+        stdout, expected,
+        "engine snapshot drifted from the committed golden \
+         (tests/fixtures/engine_golden.txt); regenerate it with \
+         `kcz engine --shards 4 --batch 256 --k 2 --z 1 --eps 0.5 \
+         < tests/fixtures/golden.csv` if the change is intentional"
+    );
+    // --input <file> must produce the identical snapshot (same stream,
+    // same routing) — stdin vs file is a transport detail.
+    let via_file = kcz()
+        .args([
+            "engine", "--input", fixture, "--shards", "4", "--batch", "256", "--k", "2", "--z",
+            "1", "--eps", "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(via_file.status.success());
+    assert_eq!(String::from_utf8_lossy(&via_file.stdout), expected);
+}
+
+#[test]
+fn engine_sharding_reports_wider_eps_but_same_fixture_radius() {
+    // One shard is exactly the single-stream insertion-only pipeline:
+    // ε′ = ε, bound factor 3 + 8ε.  Eight shards pay ⌈log₂ 8⌉ = 3 merge
+    // generations: ε′ = ε(1 + 3/2).  The certified factor widens, the
+    // measured radius on this easy fixture must not.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let run = |shards: &str| {
+        let out = kcz()
+            .args([
+                "engine", "--input", fixture, "--shards", shards, "--batch", "4", "--k", "2",
+                "--z", "1", "--eps", "0.5",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "shards={shards}");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let one = run("1");
+    assert!(one.contains("effective_eps: 0.500000"), "{one}");
+    assert!(one.contains("bound_factor: 7.000000"), "{one}");
+    let eight = run("8");
+    assert!(eight.contains("effective_eps: 1.250000"), "{eight}");
+    assert!(eight.contains("bound_factor: 13.000000"), "{eight}");
+    for s in [&one, &eight] {
+        assert!(s.contains("radius: 0.707107"), "{s}");
+        assert!(s.contains("uncovered_weight: 1"), "{s}");
+    }
+}
+
+#[test]
+fn engine_rejects_bad_flags() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    for (args, needle) in [
+        (
+            vec![
+                "engine", "--batch", "4", "--k", "1", "--z", "0", "--eps", "0.5",
+            ],
+            "missing --shards",
+        ),
+        (
+            vec![
+                "engine", "--shards", "0", "--batch", "4", "--k", "1", "--z", "0", "--eps", "0.5",
+            ],
+            "--shards must be at least 1",
+        ),
+        (
+            vec![
+                "engine", "--shards", "2", "--batch", "0", "--k", "1", "--z", "0", "--eps", "0.5",
+            ],
+            "--batch must be at least 1",
+        ),
+        (
+            vec![
+                "engine", "--shards", "2", "--batch", "4", "--k", "1", "--z", "0", "--eps", "2.0",
+            ],
+            "--eps must be in (0, 1]",
+        ),
+    ] {
+        let mut cmd = kcz();
+        cmd.args(&args).args(["--input", fixture]);
+        let out = cmd.output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(needle),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

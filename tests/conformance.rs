@@ -16,7 +16,7 @@ fn smoke_catalog_meets_the_contract() {
     assert!(scenarios.len() >= 8, "got {} scenarios", scenarios.len());
     let pipelines = all_pipelines();
     assert!(pipelines.len() >= 7, "got {} pipelines", pipelines.len());
-    for m in [Model::Offline, Model::Streaming, Model::Mpc] {
+    for m in [Model::Offline, Model::Streaming, Model::Mpc, Model::Engine] {
         assert!(pipelines.iter().any(|p| p.model() == m));
     }
 }
@@ -62,7 +62,7 @@ fn every_pipeline_within_its_ratio_bound_on_every_smoke_scenario() {
             );
         }
     }
-    // 8 of the 9 pipelines carry a bound on every scenario (Gonzalez
+    // 9 of the 10 pipelines carry a bound on every scenario (Gonzalez
     // only when z = 0), so the vast majority of verdicts must have been
     // bound-checked — guard against the harness silently skipping them.
     let total: usize = report.scenarios.iter().map(|s| s.verdicts.len()).sum();

@@ -23,6 +23,7 @@ fn edge_scenario(name: &'static str, points: Vec<[f64; 2]>, k: usize, z: u64) ->
         side_bits: SIDE_BITS,
         oracle: true,
         seed: 0xED6E,
+        mid_snapshots: false,
     }
 }
 
