@@ -1,0 +1,126 @@
+//! `query_throughput` — batched vs scalar point-query serving
+//! ([`kcz_serve::QueryEngine`]) at n = 10⁶ Zipf-skewed queries against
+//! centers published by the resident engine.  Measured medians are
+//! recorded in `BENCH_serve.json` at the repo root.
+//!
+//! Where the batched win comes from: the scalar path pays one view
+//! acquisition (read-lock + `Arc` clone) *per request* — the honest cost
+//! of a front door that may be refreshed under it at any time — while
+//! the batched path acquires once per batch, answers every query under
+//! that single frozen epoch, and fans `1024`-query chunks over the
+//! shared worker pool.  Per-query distance work is one deferred-`sqrt`
+//! kernel scan over `k` centers in both paths, so at serving-realistic
+//! `k` the acquisition overhead is the margin (plus parallel speedup
+//! when cores exist); the mixed-trace case exercises the same query
+//! paths through the [`kcz_serve::LoadDriver`] with ingest and refresh
+//! interleaved.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kcz_engine::{Engine, EngineConfig};
+use kcz_metric::L2;
+use kcz_serve::{DriverConfig, LoadDriver, QueryEngine};
+use kcz_workloads::{mixed_trace, query_trace};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N_QUERIES: usize = 1_000_000;
+const N_INGEST: usize = 50_000;
+const K: usize = 8;
+const Z: u64 = 64;
+const EPS: f64 = 1.0;
+const SHARDS: usize = 4;
+
+/// The cluster cores the ingest stream and the query keys both draw
+/// from, hottest-first (the Zipf ranking of `query_trace`).
+fn sites() -> Vec<[f64; 2]> {
+    (0..K)
+        .map(|i| [(i % 4) as f64 * 5e3, (i / 4) as f64 * 5e3])
+        .collect()
+}
+
+/// An engine with `N_INGEST` points ingested and one epoch published.
+fn serving_engine() -> Arc<Engine<[f64; 2], L2>> {
+    let engine = Arc::new(Engine::new(L2, EngineConfig::new(SHARDS, K, Z, EPS)));
+    let stream = query_trace(N_INGEST, &sites(), 0.0, 40.0, 0.001, 0x1A57);
+    for batch in stream.chunks(4096) {
+        engine.ingest(batch);
+    }
+    let snap = engine.publish();
+    assert_eq!(snap.centers.len(), K, "all planted clusters solved");
+    engine
+}
+
+fn bench_query(c: &mut Criterion) {
+    let engine = serving_engine();
+    let query = QueryEngine::new(Arc::clone(&engine));
+    query.refresh();
+    // Zipf-skewed keys: 90% near the (rank-weighted) cluster cores, 10%
+    // far probes.
+    let probes = query_trace(N_QUERIES, &sites(), 1.1, 60.0, 0.1, 0x9E4B);
+
+    let mut g = c.benchmark_group("query_assign");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(N_QUERIES as u64));
+    // Both sides produce the same `Vec<Option<Assignment>>` — the
+    // comparison is per-request serving vs one batch, not output shape.
+    g.bench_with_input(BenchmarkId::new("scalar", N_QUERIES), &probes, |b, ps| {
+        b.iter(|| {
+            let answers: Vec<_> = ps.iter().map(|p| query.assign(p)).collect();
+            black_box(answers.iter().flatten().count())
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("batched", N_QUERIES), &probes, |b, ps| {
+        b.iter(|| black_box(query.assign_batch(ps).iter().flatten().count()));
+    });
+    g.finish();
+
+    // Mixed read/write replay through the load driver: 4:1 reads to
+    // writes, refresh every 4096 ops — the serving steady state.
+    let writes = query_trace(N_QUERIES / 100, &sites(), 0.0, 40.0, 0.001, 0x77);
+    let reads = query_trace(N_QUERIES / 25, &sites(), 1.1, 60.0, 0.1, 0x78);
+    let trace = mixed_trace(&writes, &reads, 0x79);
+    let mut g = c.benchmark_group("query_mixed");
+    g.sample_size(3);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_with_input(BenchmarkId::new("driver", trace.len()), &trace, |b, t| {
+        b.iter(|| {
+            let driver = LoadDriver::new(
+                serving_engine(),
+                DriverConfig {
+                    ingest_batch: 1024,
+                    refresh_every: 4096,
+                    classify_radius: None,
+                },
+            );
+            let report = driver.run(t);
+            black_box((report.answer_digest, report.final_epoch))
+        });
+    });
+    g.finish();
+
+    // One informational replay with the report's own accounting — the
+    // numbers recorded in BENCH_serve.json alongside the medians.
+    let driver = LoadDriver::new(
+        serving_engine(),
+        DriverConfig {
+            ingest_batch: 1024,
+            refresh_every: 4096,
+            classify_radius: None,
+        },
+    );
+    let report = driver.run(&trace);
+    println!(
+        "query_mixed/driver_report: ops={} queries={} qps={:.0} query_p50_ns<={} \
+         query_p99_ns<={} refreshes={} final_epoch={}",
+        report.ops,
+        report.queries,
+        report.queries_per_sec(),
+        report.query_latency.quantile_ns(0.5),
+        report.query_latency.quantile_ns(0.99),
+        report.refreshes,
+        report.final_epoch
+    );
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

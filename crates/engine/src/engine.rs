@@ -6,10 +6,15 @@
 //! lock.  Batched [`Engine::ingest`] routes points to shards with a
 //! splittable hash partitioner ([`kcz_workloads::HashPartitioner`]) and
 //! runs the per-shard inserts concurrently on the shared worker pool;
-//! [`Engine::snapshot`] clones the shard summaries under brief per-shard
+//! [`Engine::publish`] clones the shard summaries under brief per-shard
 //! locks (ingest on other shards never stalls, and ingest on the same
-//! shard stalls only for the clone, not the merge) and reduces them in a
-//! balanced merge tree on the pool.
+//! shard stalls only for the clone, not the merge), reduces them in a
+//! balanced merge tree on the pool, and caches the solved epoch behind
+//! an `Arc` — publishing an *unchanged* data version returns the cached
+//! handle without re-merging or re-solving, and [`Engine::latest`] hands
+//! readers the newest published epoch without ever paying a solve.  This
+//! is the write side of the serving contract: the read side
+//! (`kcz-serve`) builds query views on these frozen epochs.
 //!
 //! Correctness is the Lemma 4 / Lemma 5 chain exposed by
 //! [`kcz_coreset::MergeableSummary`]: each shard's summary is an
@@ -27,7 +32,7 @@ use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
 use kcz_streaming::InsertionOnlyCoreset;
 use kcz_workloads::{HashPartitioner, ShardKey};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::runtime::{global, Pool};
 
@@ -125,6 +130,23 @@ pub struct Engine<P, M: MetricSpace<P>> {
     points: AtomicU64,
     batches: AtomicU64,
     epoch: AtomicU64,
+    /// Data version: bumped once per accepted batch, *after* the batch
+    /// has fully landed in the shards.  `publish` stamps each solved
+    /// snapshot with the version it observed before cloning, so an
+    /// unchanged version proves the cached snapshot is still current.
+    version: AtomicU64,
+    /// Full merge-tree + solve passes performed (the read side's
+    /// regression surface: an unchanged version must not re-solve).
+    solves: AtomicU64,
+    /// The last published snapshot, keyed by the data version it was
+    /// solved at.  Readers (`latest`) clone the `Arc` under a brief read
+    /// lock; only a publish of a *newer* epoch takes the write lock.
+    published: RwLock<Option<(u64, Arc<Snapshot<P>>)>>,
+    /// Collapses a publish herd: when several threads race `publish` on
+    /// the same new data version, one solves while the rest wait here
+    /// and then take the refreshed cache — N concurrent refreshers cost
+    /// one merge + solve, not N.
+    publish_order: Mutex<()>,
     /// Serializes epoch assignment with the clone phase, so concurrent
     /// snapshotters get epoch numbers consistent with snapshot contents
     /// (the merge and solve still run outside this lock).
@@ -163,6 +185,10 @@ where
             points: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            published: RwLock::new(None),
+            publish_order: Mutex::new(()),
             snapshot_order: Mutex::new(()),
             peak_merge_transient: AtomicUsize::new(0),
             pool: global(),
@@ -174,14 +200,34 @@ where
         &self.cfg
     }
 
+    /// The metric the engine clusters under (the read side builds its
+    /// query views over the same metric).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
     /// Total weight ingested so far.
     pub fn points_ingested(&self) -> u64 {
         self.points.load(Ordering::Relaxed)
     }
 
-    /// Snapshots taken so far.
+    /// Epochs published so far (the epoch number of the newest snapshot).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Data version: the number of batches that have fully landed.  Two
+    /// equal readings with no ingest in between certify that a snapshot
+    /// published at that version is still current.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Full merge-tree + Charikar solves performed so far.  Publishing an
+    /// unchanged version returns the cached snapshot and does not bump
+    /// this — the regression surface for the snapshot fast path.
+    pub fn solves(&self) -> u64 {
+        self.solves.load(Ordering::Relaxed)
     }
 
     /// Ingests one batch of unit-weight points: routes every point to its
@@ -235,24 +281,95 @@ where
         });
         self.points.fetch_add(total, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
+        // Version bumps strictly *after* the batch has landed: a publish
+        // that reads the new version is guaranteed to clone shards that
+        // already contain the batch (the converse — a clone containing
+        // data newer than its version stamp — is merely conservative and
+        // costs one redundant re-solve).
+        self.version.fetch_add(1, Ordering::Release);
     }
 
-    /// Takes an epoch-numbered snapshot: clones every shard summary under
-    /// a brief per-shard lock, reduces the clones in a balanced merge
-    /// tree on the pool (ingest proceeds meanwhile), and solves the
-    /// merged coreset with the Charikar-et-al. greedy.
+    /// Takes an epoch-numbered snapshot of the current contents.
+    ///
+    /// This is the owning-value face of [`Engine::publish`]: the fast
+    /// path applies (an unchanged version returns a clone of the cached
+    /// snapshot, same epoch, no re-solve), so repeated snapshots of an
+    /// idle engine are cheap and epoch numbers advance only when the
+    /// data did.
+    pub fn snapshot(&self) -> Snapshot<P> {
+        (*self.publish()).clone()
+    }
+
+    /// Publishes the current epoch as a shared handle: if nothing was
+    /// ingested since the last publish, the cached `Arc` comes back
+    /// (wait-free for the data path — no clone phase, no merge, no
+    /// solve); otherwise a fresh epoch is solved and cached.
+    ///
+    /// Readers that only want whatever is already published (and must
+    /// never pay a solve) use [`Engine::latest`] instead.
+    pub fn publish(&self) -> Arc<Snapshot<P>> {
+        if let Some(snap) = self.cached_if_current() {
+            return snap;
+        }
+        // Herd guard: one publisher solves, the rest wait and take the
+        // refreshed cache (double-checked after acquiring the lock).
+        let _publishing = self.publish_order.lock().expect("publish order lock");
+        if let Some(snap) = self.cached_if_current() {
+            return snap;
+        }
+        let (version, snap) = self.solve_snapshot();
+        let snap = Arc::new(snap);
+        // Publishers are serialized by `publish_order`, so cache epochs
+        // strictly increase: an unconditional store never regresses.
+        *self.published.write().expect("publish lock") = Some((version, Arc::clone(&snap)));
+        snap
+    }
+
+    /// The cached snapshot iff it is still current (its version stamp
+    /// equals the engine's data version).
+    fn cached_if_current(&self) -> Option<Arc<Snapshot<P>>> {
+        let current = self.version.load(Ordering::Acquire);
+        match &*self.published.read().expect("publish lock") {
+            Some((version, snap)) if *version == current => Some(Arc::clone(snap)),
+            _ => None,
+        }
+    }
+
+    /// The newest published snapshot, without ever solving: `None` until
+    /// the first [`Engine::publish`] / [`Engine::snapshot`].  Possibly
+    /// stale (ingest may have advanced the version since) — the epoch and
+    /// its certified bounds are frozen per snapshot, which is exactly the
+    /// consistency contract the read side serves under.
+    pub fn latest(&self) -> Option<Arc<Snapshot<P>>> {
+        self.published
+            .read()
+            .expect("publish lock")
+            .as_ref()
+            .map(|(_, snap)| Arc::clone(snap))
+    }
+
+    /// The slow path behind [`Engine::publish`]: clones every shard
+    /// summary under a brief per-shard lock, reduces the clones in a
+    /// balanced merge tree on the pool (ingest proceeds meanwhile), and
+    /// solves the merged coreset with the Charikar-et-al. greedy.
+    /// Returns the data version the snapshot is valid for.
     ///
     /// Deterministic given the shard contents: the tree shape depends
     /// only on the shard count, and each pair merge is a sequential
     /// recompression.
-    pub fn snapshot(&self) -> Snapshot<P> {
+    fn solve_snapshot(&self) -> (u64, Snapshot<P>) {
         // Epoch assignment and the clone phase are serialized together:
         // otherwise two concurrent snapshotters could draw epochs in one
         // order and clone in the other, handing epoch n a *later* view
         // than epoch n+1.  Ingest never takes this lock — it stalls only
         // on the brief per-shard clone locks below.
-        let (epoch, clones, shard_peak_words) = {
+        let (version, epoch, clones, shard_peak_words) = {
             let _serialize = self.snapshot_order.lock().expect("snapshot lock");
+            // Read the version *before* cloning: a batch landing during
+            // the clone phase may or may not be in the clones, but the
+            // stamp is then conservative (older), so the cache can only
+            // under-claim freshness, never serve stale data as current.
+            let version = self.version.load(Ordering::Acquire);
             let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
             // Phase 1: clone under brief locks, collecting per-shard peaks.
             let mut clones = Vec::with_capacity(self.cfg.shards);
@@ -262,7 +379,7 @@ where
                 shard_peak_words = shard_peak_words.max(guard.peak_words());
                 clones.push(guard.clone());
             }
-            (epoch, clones, shard_peak_words)
+            (version, epoch, clones, shard_peak_words)
         };
         let merge_transient_words: usize = clones.iter().map(|c| c.space_words()).sum();
         self.peak_merge_transient
@@ -287,9 +404,10 @@ where
         let merged = layer.pop().expect("at least one shard");
 
         // Phase 3: solve on the merged summary.
+        self.solves.fetch_add(1, Ordering::Relaxed);
         let sol = greedy(&self.metric, merged.coreset(), self.cfg.k, self.cfg.z);
         let effective_eps = merged.effective_eps();
-        Snapshot {
+        let snap = Snapshot {
             epoch,
             centers: sol.centers,
             radius: sol.radius,
@@ -306,7 +424,8 @@ where
                 summary_words: merged.space_words(),
             },
             coreset: merged.coreset().to_vec(),
-        }
+        };
+        (version, snap)
     }
 
     /// Largest merge transient observed over all snapshots so far.
@@ -430,10 +549,59 @@ mod tests {
                 epochs.push(engine.snapshot().epoch);
             }
         }
+        // Nothing landed since the last snapshot: the cached epoch comes
+        // back, not a fresh one.
         let last = engine.snapshot();
-        assert_eq!(last.epoch, epochs.len() as u64 + 1);
+        assert_eq!(last.epoch, epochs.len() as u64);
         assert_eq!(total_weight(&last.coreset), 600);
         assert!(engine.peak_merge_transient_words() > 0);
+        // One more arrival advances the version and thus the epoch.
+        engine.ingest(&[[1.0, 1.0]]);
+        let fresh = engine.snapshot();
+        assert_eq!(fresh.epoch, epochs.len() as u64 + 1);
+        assert_eq!(total_weight(&fresh.coreset), 601);
+    }
+
+    #[test]
+    fn unchanged_version_publishes_cached_snapshot_without_resolving() {
+        let engine = Engine::new(L2, EngineConfig::new(4, 2, 10, 0.5));
+        assert!(engine.latest().is_none(), "nothing published yet");
+        engine.ingest(&stream(200));
+        let a = engine.publish();
+        assert_eq!(engine.solves(), 1);
+        // Same version: same Arc back, no merge tree, no Charikar solve.
+        let b = engine.publish();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "cached Arc must be reused");
+        assert_eq!(engine.solves(), 1, "unchanged version must not re-solve");
+        assert_eq!(engine.snapshot().epoch, a.epoch);
+        assert_eq!(engine.solves(), 1);
+        // `latest` never solves; it reads whatever is published.
+        let l = engine.latest().expect("published");
+        assert!(std::sync::Arc::ptr_eq(&a, &l));
+        // New data invalidates the cache exactly once.
+        engine.ingest(&[[7.0, 7.0]]);
+        let c = engine.publish();
+        assert_eq!(c.epoch, a.epoch + 1);
+        assert_eq!(engine.solves(), 2);
+        assert_eq!(total_weight(&c.coreset), 201);
+    }
+
+    #[test]
+    fn publish_herd_collapses_to_one_solve() {
+        // N refreshers racing onto the same new data version must cost
+        // one merge + solve total, not N (the double-checked herd guard).
+        let engine = Engine::new(L2, EngineConfig::new(4, 2, 10, 0.5));
+        engine.ingest(&stream(150));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let snap = engine.publish();
+                    assert_eq!(snap.epoch, 1);
+                });
+            }
+        });
+        assert_eq!(engine.solves(), 1, "herd must share a single solve");
+        assert_eq!(engine.epoch(), 1, "no epoch numbers burned on discards");
     }
 
     #[test]

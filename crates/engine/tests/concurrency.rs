@@ -106,7 +106,11 @@ fn concurrent_sharded_ingest_meets_certified_bound() {
                 for _ in 0..ROUNDS {
                     barrier.wait();
                     let snap = engine.snapshot();
-                    assert!(snap.epoch > last_epoch, "epochs must be monotonic");
+                    // Non-decreasing, not strictly increasing: if this
+                    // snapshot lands before any of the round's batches,
+                    // the memoized publish path legitimately returns the
+                    // previous epoch again (nothing changed yet).
+                    assert!(snap.epoch >= last_epoch, "epochs must not regress");
                     last_epoch = snap.epoch;
                     // A mid-burst snapshot sees a per-shard prefix of the
                     // arrivals (shards are cloned one at a time while

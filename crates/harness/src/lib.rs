@@ -13,16 +13,23 @@
 //! every verdict's radius against the exact discrete optimum and the
 //! per-algorithm ratio bound from the paper.
 //!
+//! The read side is judged too: [`query_violations`] rebuilds the
+//! resident engine per scenario, publishes a snapshot, and re-checks
+//! every answer the query layer serves (exact nearest-center agreement,
+//! classify coherence, the epoch's certified bound) — see [`query`].
+//!
 //! The facade exposes this as `kcz conformance [--tier smoke|full]
 //! [--json <path>]`; CI runs the smoke tier on every push and fails on
-//! any ratio-bound violation.
+//! any ratio-bound or query-conformance violation.
 
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod query;
 pub mod report;
 pub mod scenario;
 
 pub use pipeline::{all_pipelines, Model, Pipeline, RadiusBound, Verdict};
+pub use query::query_violations;
 pub use report::{exact_radius, run_conformance, within_bound, ConformanceReport, ScenarioReport};
 pub use scenario::{catalog, snap_to_grid, Scenario, Tier, SIDE_BITS};

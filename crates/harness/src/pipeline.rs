@@ -464,6 +464,24 @@ struct EnginePipeline;
 /// catalog scenario spans several batches).
 const ENGINE_BATCH: usize = 16;
 
+/// Builds and feeds the resident engine for one scenario — the **single
+/// construction path** shared by the engine pipeline's verdict and the
+/// query-conformance check ([`crate::query_violations`]), so both sides
+/// judge the identical snapshot by construction rather than by two code
+/// paths staying config-identical.
+pub(crate) fn scenario_engine(sc: &Scenario) -> Engine<[f64; 2], L2> {
+    let engine = Engine::new(L2, EngineConfig::new(sc.machines, sc.k, sc.z, sc.eps));
+    for batch in sc.points.chunks(ENGINE_BATCH) {
+        engine.ingest(batch);
+        if sc.mid_snapshots {
+            // Churn-under-snapshot: the query path must not disturb
+            // ingest; only the last snapshot feeds the verdict.
+            let _ = engine.snapshot();
+        }
+    }
+    engine
+}
+
 impl Pipeline for EnginePipeline {
     fn name(&self) -> &'static str {
         "engine/sharded"
@@ -472,16 +490,7 @@ impl Pipeline for EnginePipeline {
         Model::Engine
     }
     fn run(&self, sc: &Scenario) -> Verdict {
-        let engine = Engine::new(L2, EngineConfig::new(sc.machines, sc.k, sc.z, sc.eps));
-        for batch in sc.points.chunks(ENGINE_BATCH) {
-            engine.ingest(batch);
-            if sc.mid_snapshots {
-                // Churn-under-snapshot: the query path must not disturb
-                // ingest; only the last snapshot feeds the verdict.
-                let _ = engine.snapshot();
-            }
-        }
-        let snap = engine.snapshot();
+        let snap = scenario_engine(sc).snapshot();
         verdict(
             self.name(),
             sc,

@@ -134,8 +134,19 @@ impl ConformanceReport {
 
     /// Machine-readable JSON (hand-rolled: the workspace is offline and
     /// carries no serde).  Key order and float formatting (6 decimals)
-    /// are fixed, so the output is golden-testable.
+    /// are fixed, so the output is golden-testable.  Equivalent to
+    /// [`to_json_with_query_violations`](Self::to_json_with_query_violations)
+    /// with no read-side verdicts.
     pub fn to_json(&self) -> String {
+        self.to_json_with_query_violations(&[])
+    }
+
+    /// [`to_json`](Self::to_json) with the read side's verdicts folded
+    /// in: the query-conformance check ([`crate::query_violations`]) is
+    /// judged out of band of the pipeline verdicts, but a machine-read
+    /// report must not look clean while the run exits 3 — the trailing
+    /// `query_violations` array records what the serving layer failed.
+    pub fn to_json_with_query_violations(&self, query_violations: &[String]) -> String {
         let mut s = String::with_capacity(1 << 14);
         s.push_str("{\n");
         s.push_str(&format!(
@@ -208,7 +219,17 @@ impl ConformanceReport {
                 }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n  \"query_violations\": [");
+        for (i, v) in query_violations.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        s.push_str("]\n}\n");
         s
     }
 
@@ -301,6 +322,12 @@ mod tests {
         assert!(json.contains("\"tier\": \"smoke\""));
         assert!(json.contains("\"pipeline\": \"offline/charikar\""));
         assert!(json.contains("\"within_bound\": "));
+        assert!(json.contains("\"query_violations\": []"));
+        // Read-side verdicts fold into the machine-readable report (so a
+        // failing run never writes a clean-looking JSON), escaped safely.
+        let with_viols = report
+            .to_json_with_query_violations(&[r#"x / query/assign: "bad" answer"#.to_string()]);
+        assert!(with_viols.contains(r#""query_violations": ["x / query/assign: \"bad\" answer"]"#));
         assert_eq!(json.matches("\"name\": ").count(), 1);
         // Balanced braces/brackets (a cheap structural check without a
         // JSON parser in the dependency set).

@@ -1,0 +1,383 @@
+//! [`LoadDriver`]: deterministic replay of mixed read/write traces
+//! against an engine + query front, with throughput and latency
+//! accounting.
+//!
+//! The driver consumes a [`TraceOp`] sequence (see
+//! [`kcz_workloads::mixed_trace`]): writes accumulate into
+//! `ingest_batch`-sized flushes, reads are served from the current
+//! published view, and every `refresh_every` ops the view is
+//! republished.  All scheduling knobs are part of [`DriverConfig`], so a
+//! replay is **deterministic end to end**: the same trace and config
+//! produce bit-identical answers — pinned by
+//! [`DriverReport::answer_digest`], a seed-stable FNV fold over every
+//! served `(epoch, center, dist)`.  Wall-clock numbers (throughput, the
+//! latency histograms) are measured, not pinned.
+
+use kcz_engine::Engine;
+use kcz_metric::{MetricSpace, SpaceUsage};
+use kcz_workloads::{ShardKey, TraceOp};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::query::QueryEngine;
+
+/// Replay knobs of one [`LoadDriver`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverConfig {
+    /// Writes accumulate into batches of this size before being flushed
+    /// into the engine (the tail is flushed at end of trace).
+    pub ingest_batch: usize,
+    /// Republish cadence in trace ops; `0` refreshes only at the end of
+    /// the trace, so every query is served from the initial view.
+    pub refresh_every: u64,
+    /// `Some(r)`: queries are `classify(p, r)` verdicts; `None`: queries
+    /// are `assign(p)` lookups.
+    pub classify_radius: Option<f64>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            ingest_batch: 256,
+            refresh_every: 1024,
+            classify_radius: None,
+        }
+    }
+}
+
+/// Power-of-two latency histogram: bucket `i` counts observations in
+/// `[2^i, 2^{i+1})` nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - ns.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.total_ns / self.count as u128) as u64
+        }
+    }
+
+    /// Largest observation in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bucket bound covering quantile `q ∈ [0, 1]` — e.g.
+    /// `quantile_ns(0.99)` is an upper bound on the p99 latency, at
+    /// power-of-two resolution.  0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Raw bucket counts (bucket `i` spans `[2^i, 2^{i+1})` ns).
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+}
+
+/// What one replay did and how fast it went.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Total trace ops replayed.
+    pub ops: u64,
+    /// Points written into the engine.
+    pub ingested: u64,
+    /// Queries served.
+    pub queries: u64,
+    /// Ingest flushes performed.
+    pub flushes: u64,
+    /// View refreshes performed (including the final one).
+    pub refreshes: u64,
+    /// The epoch current when the replay finished.
+    pub final_epoch: u64,
+    /// Seed-stable FNV digest over every served answer
+    /// `(epoch, center, dist-bits)` — the determinism pin: same trace +
+    /// same config ⇒ same digest, on any host.
+    pub answer_digest: u64,
+    /// Wall-clock for the whole replay.
+    pub elapsed: Duration,
+    /// Per-query serve latency.
+    pub query_latency: LatencyHistogram,
+    /// Per-flush ingest latency.
+    pub ingest_latency: LatencyHistogram,
+}
+
+impl DriverReport {
+    /// Served queries per second over the whole replay (0 when instant).
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// FNV-1a fold of one answer into the digest.
+fn fold(digest: &mut u64, words: [u64; 3]) {
+    for w in words {
+        for b in w.to_le_bytes() {
+            *digest ^= b as u64;
+            *digest = digest.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Replays mixed read/write traces against one engine + query front.
+pub struct LoadDriver<P, M: MetricSpace<P>> {
+    query: QueryEngine<P, M>,
+    cfg: DriverConfig,
+}
+
+impl<P, M> LoadDriver<P, M>
+where
+    P: Clone + SpaceUsage + ShardKey + Send + Sync,
+    M: MetricSpace<P> + Clone,
+{
+    /// A driver over the given engine, with its own query front.
+    pub fn new(engine: Arc<Engine<P, M>>, cfg: DriverConfig) -> Self {
+        assert!(cfg.ingest_batch >= 1, "ingest batch must be at least 1");
+        LoadDriver {
+            query: QueryEngine::new(engine),
+            cfg,
+        }
+    }
+
+    /// The query front the driver serves reads through (shareable with
+    /// concurrent readers while a replay runs).
+    pub fn query_engine(&self) -> &QueryEngine<P, M> {
+        &self.query
+    }
+
+    /// Replays the trace: writes batch up and flush at `ingest_batch`,
+    /// reads serve from the current view, the view republishes every
+    /// `refresh_every` ops and once more at the end.  Returns the full
+    /// accounting.
+    pub fn run(&self, trace: &[TraceOp<P>]) -> DriverReport {
+        let cfg = self.cfg;
+        let t0 = Instant::now();
+        let mut pending: Vec<P> = Vec::with_capacity(cfg.ingest_batch);
+        let mut report = DriverReport {
+            ops: 0,
+            ingested: 0,
+            queries: 0,
+            flushes: 0,
+            refreshes: 0,
+            final_epoch: 0,
+            answer_digest: 0xcbf29ce484222325,
+            elapsed: Duration::ZERO,
+            query_latency: LatencyHistogram::default(),
+            ingest_latency: LatencyHistogram::default(),
+        };
+        for op in trace {
+            report.ops += 1;
+            match op {
+                TraceOp::Ingest(p) => {
+                    pending.push(p.clone());
+                    if pending.len() >= cfg.ingest_batch {
+                        self.flush(&mut pending, &mut report);
+                    }
+                }
+                TraceOp::Query(p) => {
+                    let q0 = Instant::now();
+                    match cfg.classify_radius {
+                        Some(r) => {
+                            let c = self.query.classify(p, r);
+                            fold(
+                                &mut report.answer_digest,
+                                [
+                                    c.epoch,
+                                    c.center.map_or(u64::MAX, |i| i as u64),
+                                    (c.covered as u64) << 63 | c.dist.to_bits() >> 1,
+                                ],
+                            );
+                        }
+                        None => {
+                            let a = self.query.assign(p);
+                            match a {
+                                Some(a) => fold(
+                                    &mut report.answer_digest,
+                                    [a.epoch, a.center as u64, a.dist.to_bits()],
+                                ),
+                                None => fold(&mut report.answer_digest, [0, u64::MAX, 0]),
+                            }
+                        }
+                    }
+                    report.query_latency.record(q0.elapsed());
+                    report.queries += 1;
+                }
+            }
+            if cfg.refresh_every > 0 && report.ops.is_multiple_of(cfg.refresh_every) {
+                self.query.refresh();
+                report.refreshes += 1;
+            }
+        }
+        self.flush(&mut pending, &mut report);
+        let last = self.query.refresh();
+        report.refreshes += 1;
+        report.final_epoch = last.epoch();
+        report.elapsed = t0.elapsed();
+        report
+    }
+
+    fn flush(&self, pending: &mut Vec<P>, report: &mut DriverReport) {
+        if pending.is_empty() {
+            return;
+        }
+        let f0 = Instant::now();
+        self.query.engine().ingest(pending);
+        report.ingest_latency.record(f0.elapsed());
+        report.ingested += pending.len() as u64;
+        report.flushes += 1;
+        pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_engine::EngineConfig;
+    use kcz_metric::{total_weight, L2};
+    use kcz_workloads::{mixed_trace, query_trace};
+
+    fn sites() -> Vec<[f64; 2]> {
+        vec![[0.0, 0.0], [300.0, 0.0], [0.0, 300.0], [300.0, 300.0]]
+    }
+
+    fn trace(n_writes: usize, n_reads: usize, seed: u64) -> Vec<TraceOp<[f64; 2]>> {
+        let writes = query_trace(n_writes, &sites(), 0.8, 2.0, 0.02, seed);
+        let reads = query_trace(n_reads, &sites(), 1.1, 3.0, 0.1, seed ^ 0xFF);
+        mixed_trace(&writes, &reads, seed ^ 0xABCD)
+    }
+
+    fn engine() -> Arc<Engine<[f64; 2], L2>> {
+        Arc::new(Engine::new(L2, EngineConfig::new(4, 4, 16, 0.5)))
+    }
+
+    #[test]
+    fn replay_accounts_every_op_and_conserves_weight() {
+        let t = trace(400, 300, 3);
+        let driver = LoadDriver::new(
+            engine(),
+            DriverConfig {
+                ingest_batch: 64,
+                refresh_every: 100,
+                classify_radius: None,
+            },
+        );
+        let report = driver.run(&t);
+        assert_eq!(report.ops, 700);
+        assert_eq!(report.ingested, 400);
+        assert_eq!(report.queries, 300);
+        assert_eq!(report.query_latency.count(), 300);
+        assert!(report.flushes >= 400 / 64);
+        assert!(report.refreshes >= 7);
+        assert!(report.final_epoch >= 1);
+        // Weight conservation through the whole replay.
+        let snap = driver.query_engine().engine().publish();
+        assert_eq!(total_weight(&snap.coreset), 400);
+        assert_eq!(snap.epoch, report.final_epoch);
+    }
+
+    #[test]
+    fn same_trace_same_config_same_digest() {
+        let t = trace(300, 200, 9);
+        let cfg = DriverConfig {
+            ingest_batch: 32,
+            refresh_every: 64,
+            classify_radius: None,
+        };
+        let a = LoadDriver::new(engine(), cfg).run(&t);
+        let b = LoadDriver::new(engine(), cfg).run(&t);
+        assert_eq!(a.answer_digest, b.answer_digest);
+        assert_eq!(a.final_epoch, b.final_epoch);
+        assert_eq!((a.flushes, a.refreshes), (b.flushes, b.refreshes));
+        // A different refresh cadence serves from different epochs — the
+        // digest is allowed to move, the accounting must not.
+        let c = LoadDriver::new(
+            engine(),
+            DriverConfig {
+                refresh_every: 16,
+                ..cfg
+            },
+        )
+        .run(&t);
+        assert_eq!(c.ingested, a.ingested);
+        assert_eq!(c.queries, a.queries);
+    }
+
+    #[test]
+    fn classify_mode_replays_deterministically() {
+        let t = trace(200, 200, 17);
+        let cfg = DriverConfig {
+            ingest_batch: 50,
+            refresh_every: 40,
+            classify_radius: Some(25.0),
+        };
+        let a = LoadDriver::new(engine(), cfg).run(&t);
+        let b = LoadDriver::new(engine(), cfg).run(&t);
+        assert_eq!(a.answer_digest, b.answer_digest);
+        assert_eq!(a.queries, 200);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for ns in [100u64, 200, 400, 800, 1600, 3200, 1_000_000] {
+            h.record(Duration::from_nanos(ns));
+        }
+        assert_eq!(h.count(), 7);
+        assert!(h.quantile_ns(0.5) <= h.quantile_ns(0.99));
+        assert!(h.quantile_ns(0.99) <= h.max_ns().next_power_of_two());
+        assert!(h.mean_ns() > 0);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 7);
+    }
+}

@@ -1,0 +1,222 @@
+//! [`QueryEngine`]: the serving front over a shared [`Engine`].
+//!
+//! Holds the engine plus the newest published [`SnapshotView`] behind a
+//! read-write lock.  Readers acquire the current view with one brief
+//! read-lock and an `Arc` clone — they are never blocked by ingest
+//! (which takes neither lock) and block each other not at all; only the
+//! instant of a [`refresh`](QueryEngine::refresh) swap takes the write
+//! lock.  Batched query variants acquire the view **once** and fan the
+//! per-chunk kernel scans over the shared [`kcz_engine::runtime::Pool`],
+//! which is both the throughput path (one view acquisition amortized
+//! over the whole batch, worker-parallel chunks) and the consistency
+//! path (a batch is answered entirely under one epoch).
+
+use kcz_engine::runtime::{global, Pool};
+use kcz_engine::Engine;
+use kcz_metric::{MetricSpace, SpaceUsage};
+use kcz_workloads::ShardKey;
+use std::sync::{Arc, RwLock};
+
+use crate::view::{Assignment, Classification, SnapshotView};
+
+/// Queries per pool task in the batched paths: large enough that the
+/// per-task overhead vanishes, small enough to spread across workers.
+const QUERY_CHUNK: usize = 1024;
+
+/// The read-side front of one engine: publishes views, serves queries.
+pub struct QueryEngine<P, M: MetricSpace<P>> {
+    engine: Arc<Engine<P, M>>,
+    pool: &'static Pool,
+    view: RwLock<Arc<SnapshotView<P, M>>>,
+}
+
+impl<P, M> QueryEngine<P, M>
+where
+    P: Clone + SpaceUsage + ShardKey + Send + Sync,
+    M: MetricSpace<P> + Clone,
+{
+    /// Wraps an engine and publishes its current epoch as the initial
+    /// view (an empty engine yields a center-less epoch-1 view; every
+    /// query then answers `None`/outlier until data arrives and
+    /// [`refresh`](Self::refresh) republishes).
+    pub fn new(engine: Arc<Engine<P, M>>) -> Self {
+        let view = Arc::new(SnapshotView::new(engine.metric().clone(), engine.publish()));
+        QueryEngine {
+            engine,
+            pool: global(),
+            view: RwLock::new(view),
+        }
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Arc<Engine<P, M>> {
+        &self.engine
+    }
+
+    /// The current view: one brief read-lock, one `Arc` clone.  Hold the
+    /// returned view to answer any number of mutually consistent queries
+    /// under its frozen epoch.
+    pub fn view(&self) -> Arc<SnapshotView<P, M>> {
+        Arc::clone(&self.view.read().expect("view lock"))
+    }
+
+    /// Republishes if the engine's data version advanced: asks the
+    /// engine to publish (the memoized fast path returns the cached
+    /// epoch without re-merging when nothing changed), and only when the
+    /// epoch actually moved builds a fresh view and swaps it in.
+    /// Returns the view that is current afterwards.
+    pub fn refresh(&self) -> Arc<SnapshotView<P, M>> {
+        let snap = self.engine.publish();
+        let current = self.view();
+        if current.epoch() == snap.epoch {
+            return current;
+        }
+        let fresh = Arc::new(SnapshotView::new(self.engine.metric().clone(), snap));
+        let mut guard = self.view.write().expect("view lock");
+        // A racing refresher may have installed an even newer epoch.
+        if guard.epoch() < fresh.epoch() {
+            *guard = Arc::clone(&fresh);
+            fresh
+        } else {
+            Arc::clone(&guard)
+        }
+    }
+
+    /// [`SnapshotView::assign`] against the current view.
+    pub fn assign(&self, p: &P) -> Option<Assignment> {
+        self.view().assign(p)
+    }
+
+    /// [`SnapshotView::classify`] against the current view.
+    pub fn classify(&self, p: &P, r: f64) -> Classification {
+        self.view().classify(p, r)
+    }
+
+    /// [`SnapshotView::nearest_centers`] against the current view.
+    pub fn nearest_centers(&self, p: &P, j: usize) -> Vec<Assignment> {
+        self.view().nearest_centers(p, j)
+    }
+
+    /// Batched assign: acquires the view once, answers every query under
+    /// that single epoch, fanning `QUERY_CHUNK`-sized slices over the
+    /// worker pool.  Results come back in input order.
+    ///
+    /// The batch writes into one preallocated output through disjoint
+    /// `&mut` slices — no per-chunk allocation, no flatten copy — so the
+    /// per-query cost is the kernel scan alone, with the view
+    /// acquisition amortized over the whole batch (the scalar path pays
+    /// it per request).
+    pub fn assign_batch(&self, pts: &[P]) -> Vec<Option<Assignment>> {
+        let view = self.view();
+        let mut out: Vec<Option<Assignment>> = vec![None; pts.len()];
+        let tasks: Vec<(&[P], &mut [Option<Assignment>])> = pts
+            .chunks(QUERY_CHUNK)
+            .zip(out.chunks_mut(QUERY_CHUNK))
+            .collect();
+        self.pool.scoped_map(tasks, |_, (chunk, slots)| {
+            for (p, slot) in chunk.iter().zip(slots.iter_mut()) {
+                *slot = view.assign(p);
+            }
+        });
+        out
+    }
+
+    /// Batched classify at one radius, single-epoch and
+    /// allocation-shaped like [`assign_batch`](Self::assign_batch).
+    pub fn classify_batch(&self, pts: &[P], r: f64) -> Vec<Classification> {
+        let view = self.view();
+        let mut out: Vec<Option<Classification>> = vec![None; pts.len()];
+        let tasks: Vec<(&[P], &mut [Option<Classification>])> = pts
+            .chunks(QUERY_CHUNK)
+            .zip(out.chunks_mut(QUERY_CHUNK))
+            .collect();
+        self.pool.scoped_map(tasks, |_, (chunk, slots)| {
+            for (p, slot) in chunk.iter().zip(slots.iter_mut()) {
+                *slot = Some(view.classify(p, r));
+            }
+        });
+        out.into_iter()
+            .map(|c| c.expect("every slot classified"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcz_engine::EngineConfig;
+    use kcz_metric::L2;
+
+    fn stream(n: usize) -> Vec<[f64; 2]> {
+        let mut out = Vec::with_capacity(n);
+        let mut s = 0xFEED_F00Du64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            if i % 30 == 29 {
+                out.push([4000.0 + next() * 500.0, -2500.0]);
+            } else if i % 2 == 0 {
+                out.push([next() * 4.0, next() * 4.0]);
+            } else {
+                out.push([70.0 + next() * 4.0, 70.0 + next() * 4.0]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn refresh_tracks_ingest_and_reuses_unchanged_epochs() {
+        let engine = Arc::new(Engine::new(L2, EngineConfig::new(4, 2, 8, 0.5)));
+        let query = QueryEngine::new(Arc::clone(&engine));
+        let empty = query.view();
+        assert!(empty.centers().is_empty());
+        engine.ingest(&stream(120));
+        // The cached view is stale until a refresh republishes.
+        assert!(std::sync::Arc::ptr_eq(&query.view(), &empty));
+        let fresh = query.refresh();
+        assert_eq!(fresh.epoch(), empty.epoch() + 1);
+        assert!(!fresh.centers().is_empty());
+        // No new data: refresh is the memoized no-op, same view back.
+        let again = query.refresh();
+        assert!(std::sync::Arc::ptr_eq(&fresh, &again));
+        assert_eq!(engine.solves(), 2, "empty + one data epoch");
+    }
+
+    #[test]
+    fn batched_answers_equal_scalar_answers() {
+        let engine = Arc::new(Engine::new(L2, EngineConfig::new(4, 2, 8, 0.5)));
+        engine.ingest(&stream(200));
+        let query = QueryEngine::new(Arc::clone(&engine));
+        let probes = stream(300);
+        let batched = query.assign_batch(&probes);
+        assert_eq!(batched.len(), probes.len());
+        for (p, b) in probes.iter().zip(&batched) {
+            assert_eq!(*b, query.assign(p), "probe {p:?}");
+        }
+        let r = 5.0;
+        let cls = query.classify_batch(&probes, r);
+        for (p, c) in probes.iter().zip(&cls) {
+            assert_eq!(*c, query.classify(p, r), "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn a_held_view_stays_consistent_across_refreshes() {
+        let engine = Arc::new(Engine::new(L2, EngineConfig::new(2, 2, 4, 0.5)));
+        engine.ingest(&stream(100));
+        let query = QueryEngine::new(Arc::clone(&engine));
+        let held = query.refresh();
+        let before: Vec<_> = stream(50).iter().map(|p| held.assign(p)).collect();
+        engine.ingest(&stream(400));
+        query.refresh();
+        // The held view still answers from its frozen epoch.
+        let after: Vec<_> = stream(50).iter().map(|p| held.assign(p)).collect();
+        assert_eq!(before, after);
+        // The current view moved on.
+        assert!(query.view().epoch() > held.epoch());
+    }
+}

@@ -1,0 +1,160 @@
+//! Deterministic barrier-scheduled read/write test: writers ingest
+//! through snapshot refreshes while readers query — every served answer
+//! must be consistent with *some* published epoch (no torn snapshot),
+//! and the write side's weight-conservation invariant must survive the
+//! whole run.
+//!
+//! The schedule is fixed: `ROUNDS` barrier-separated rounds; in each
+//! round every writer ingests its preassigned batch, a refresher
+//! republishes the view, and every reader answers its preassigned probe
+//! set from whatever view it acquires.  Which thread runs first within a
+//! round is up to the scheduler — exactly the nondeterminism the serving
+//! contract must tolerate.  Consistency is checked per answer: the
+//! reader re-derives the answer by brute force *on the view it used*
+//! (same frozen epoch), so any torn or cross-epoch state shows up as a
+//! mismatch; epochs observed across the run must never regress below an
+//! epoch the reader already saw.
+
+use kcz_engine::{Engine, EngineConfig};
+use kcz_metric::{total_weight, MetricSpace, L2};
+use kcz_serve::QueryEngine;
+use std::sync::{Arc, Barrier};
+
+const WRITERS: usize = 3;
+const READERS: usize = 2;
+const ROUNDS: usize = 6;
+const BATCH: usize = 12;
+const PROBES: usize = 15;
+const K: usize = 2;
+const Z: u64 = 6;
+
+/// Seeded xorshift point source: two integer-grid clusters + far
+/// outliers (the same family the engine's own tests use).
+fn points(n: usize, mut s: u64) -> Vec<[f64; 2]> {
+    s |= 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let (x, y) = ((s >> 8) % 7, (s >> 24) % 7);
+            match s % 35 {
+                34 => [4000.0 + (s % 5) as f64 * 90.0, -2800.0],
+                n if n % 2 == 0 => [x as f64, y as f64],
+                _ => [250.0 + x as f64, 250.0 + y as f64],
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_reads_are_consistent_with_a_published_epoch() {
+    // Fixed schedule: per-round writer batches and reader probe sets.
+    let batches: Vec<Vec<Vec<[f64; 2]>>> = (0..ROUNDS)
+        .map(|r| {
+            (0..WRITERS)
+                .map(|w| points(BATCH, (r * WRITERS + w) as u64 + 0xC0FFEE))
+                .collect()
+        })
+        .collect();
+    let probes: Vec<Vec<[f64; 2]>> = (0..READERS)
+        .map(|rd| points(PROBES, rd as u64 + 0xBEEF))
+        .collect();
+    let total = (WRITERS * ROUNDS * BATCH) as u64;
+
+    for trial in 0..3 {
+        let engine = Arc::new(Engine::new(L2, EngineConfig::new(4, K, Z, 0.5)));
+        let query = QueryEngine::new(Arc::clone(&engine));
+        let barrier = Barrier::new(WRITERS + READERS + 1);
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let (engine, batches, barrier) = (&engine, &batches, &barrier);
+                scope.spawn(move || {
+                    for round in batches.iter() {
+                        barrier.wait();
+                        engine.ingest(&round[w]);
+                    }
+                });
+            }
+            // The refresher republishes mid-burst, every round.
+            {
+                let (query, barrier) = (&query, &barrier);
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        barrier.wait();
+                        query.refresh();
+                    }
+                });
+            }
+            for rd in 0..READERS {
+                let (query, probes, barrier) = (&query, &probes, &barrier);
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    for _ in 0..ROUNDS {
+                        barrier.wait();
+                        // Acquire once, answer the whole probe set under
+                        // that single frozen epoch.
+                        let view = query.view();
+                        assert!(
+                            view.epoch() >= last_epoch,
+                            "reader {rd}: view regressed from epoch {last_epoch} to {}",
+                            view.epoch()
+                        );
+                        last_epoch = view.epoch();
+                        for p in &probes[rd] {
+                            let answer = view.assign(p);
+                            // Brute-force re-derivation on the same view:
+                            // scalar distances over its frozen centers.
+                            let brute = view
+                                .centers()
+                                .iter()
+                                .map(|c| L2.dist(p, c))
+                                .fold(f64::INFINITY, f64::min);
+                            match answer {
+                                Some(a) => {
+                                    assert_eq!(a.dist, brute, "reader {rd}: torn answer for {p:?}");
+                                    assert_eq!(
+                                        a.dist,
+                                        L2.dist(p, &view.centers()[a.center]),
+                                        "reader {rd}: assignment does not point at its center"
+                                    );
+                                    assert_eq!(a.epoch, view.epoch());
+                                    // The classify verdict agrees with the
+                                    // assignment on the same view.
+                                    let c = view.classify(p, a.dist);
+                                    assert!(c.covered);
+                                    assert_eq!(c.epoch, view.epoch());
+                                    assert_eq!(c.bound_factor, view.bound_factor());
+                                }
+                                None => {
+                                    assert!(
+                                        view.centers().is_empty(),
+                                        "reader {rd}: no answer despite centers"
+                                    );
+                                    assert!(brute.is_infinite());
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Weight conservation after the storm: every write of every
+        // round is in the final published summary.
+        let last = query.refresh();
+        assert_eq!(
+            total_weight(&last.snapshot().coreset),
+            total,
+            "trial {trial}"
+        );
+        assert_eq!(engine.points_ingested(), total, "trial {trial}");
+        // The final view serves the final epoch, and batched answers on
+        // it agree with scalar ones (single-epoch batching contract).
+        let all_probes: Vec<[f64; 2]> = probes.iter().flatten().copied().collect();
+        let batched = query.assign_batch(&all_probes);
+        for (p, b) in all_probes.iter().zip(&batched) {
+            assert_eq!(*b, last.assign(p), "trial {trial}: batched vs scalar");
+        }
+    }
+}

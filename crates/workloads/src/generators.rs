@@ -261,6 +261,65 @@ pub fn outlier_burst(n: usize, z: usize, burst_at: usize, sigma: f64, seed: u64)
     out
 }
 
+/// A point-query trace with Zipf-skewed site popularity: `n` query
+/// points, each drawn near one of `sites` chosen with probability
+/// `∝ 1/(rank+1)^zipf_s` (rank = position in `sites`, so callers order
+/// sites hottest-first), jittered by a Gaussian of deviation `sigma`.
+/// With probability `far_rate` the query is instead a *far* probe —
+/// uniform in the sites' bounding box inflated by one full span per side
+/// — modelling the outlier lookups a serving layer must also answer.
+///
+/// This is the read-side companion of the ingest generators: replayed
+/// against a published snapshot it produces the skewed key distribution
+/// (`zipf_s ≈ 1` is classic web traffic) the query engine is benched
+/// and load-tested under.
+pub fn query_trace(
+    n: usize,
+    sites: &[[f64; 2]],
+    zipf_s: f64,
+    sigma: f64,
+    far_rate: f64,
+    seed: u64,
+) -> Vec<[f64; 2]> {
+    assert!(!sites.is_empty(), "query trace needs at least one site");
+    assert!(zipf_s >= 0.0 && sigma >= 0.0);
+    assert!((0.0..=1.0).contains(&far_rate));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative Zipf weights over the site ranks (s = 0 is uniform).
+    let mut cum = Vec::with_capacity(sites.len());
+    let mut total = 0.0;
+    for rank in 0..sites.len() {
+        total += ((rank + 1) as f64).powf(-zipf_s);
+        cum.push(total);
+    }
+    // Bounding box of the sites, for far-probe placement.
+    let (mut lo, mut hi) = ([f64::INFINITY; 2], [f64::NEG_INFINITY; 2]);
+    for s in sites {
+        for d in 0..2 {
+            lo[d] = lo[d].min(s[d]);
+            hi[d] = hi[d].max(s[d]);
+        }
+    }
+    let span = (hi[0] - lo[0]).max(hi[1] - lo[1]).max(1.0);
+    (0..n)
+        .map(|_| {
+            if far_rate > 0.0 && rng.random_bool(far_rate) {
+                [
+                    rng.random_range(lo[0] - span..hi[0] + span),
+                    rng.random_range(lo[1] - span..hi[1] + span),
+                ]
+            } else {
+                let u = rng.random_range(0.0..total);
+                let i = cum.partition_point(|&c| c <= u).min(sites.len() - 1);
+                [
+                    sites[i][0] + sigma * gaussian(&mut rng),
+                    sites[i][1] + sigma * gaussian(&mut rng),
+                ]
+            }
+        })
+        .collect()
+}
+
 /// `n` points uniform in `[0, side]^D`.
 pub fn uniform_box<const D: usize>(n: usize, side: f64, seed: u64) -> Vec<[f64; D]> {
     assert!(side > 0.0);
@@ -442,6 +501,47 @@ mod tests {
             let is_far = p[0] >= 400.0 || p[1] <= -300.0;
             assert_eq!(is_far, (at..at + z).contains(&i), "position {i}: {p:?}");
         }
+    }
+
+    #[test]
+    fn query_trace_is_skewed_toward_hot_sites() {
+        let sites: Vec<[f64; 2]> = (0..10).map(|i| [i as f64 * 100.0, 0.0]).collect();
+        let qs = query_trace(2000, &sites, 1.2, 1.0, 0.0, 7);
+        assert_eq!(qs.len(), 2000);
+        assert_eq!(qs, query_trace(2000, &sites, 1.2, 1.0, 0.0, 7));
+        // Count queries landing near each site (σ = 1, spacing = 100).
+        let near = |site: &[f64; 2]| qs.iter().filter(|q| dist(q, site).abs() < 50.0).count();
+        let hot = near(&sites[0]);
+        let cold = near(&sites[9]);
+        assert!(
+            hot > 2 * cold,
+            "Zipf skew missing: hot {hot} vs cold {cold}"
+        );
+        let total_near: usize = sites.iter().map(near).sum();
+        assert_eq!(
+            total_near, 2000,
+            "far_rate = 0 places every query near a site"
+        );
+    }
+
+    #[test]
+    fn query_trace_far_probes_leave_the_cores() {
+        let sites: Vec<[f64; 2]> = (0..4).map(|i| [i as f64 * 10.0, 0.0]).collect();
+        let qs = query_trace(1000, &sites, 1.0, 0.1, 0.3, 11);
+        let far = qs
+            .iter()
+            .filter(|q| sites.iter().all(|s| dist(q, s) > 1.0))
+            .count();
+        assert!(
+            (150..=450).contains(&far),
+            "expected ~30% far probes, got {far}/1000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn query_trace_rejects_empty_sites() {
+        let _ = query_trace(10, &[], 1.0, 1.0, 0.0, 1);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Synthetic workloads for the experiments: clustered data with planted
-//! outliers, machine partitions (random and adversarial), and stream
-//! schedules (shuffles, insert/delete churn, drifting sliding windows).
+//! outliers, machine partitions (random and adversarial), stream
+//! schedules (shuffles, insert/delete churn, drifting sliding windows),
+//! and read-side traces (Zipf-skewed point queries, interleaved mixed
+//! read/write schedules) for the serving layer.
 //!
 //! Every generator is deterministic given its seed, so experiments and
 //! tests are reproducible bit-for-bit.
@@ -13,9 +15,9 @@ pub mod streams;
 
 pub use generators::{
     annulus, colinear, duplicate_heavy, gaussian_clusters, grid_clusters, outlier_burst,
-    two_scale_clusters, uniform_box, ClusteredInstance,
+    query_trace, two_scale_clusters, uniform_box, ClusteredInstance,
 };
 pub use partition::{
     concentrated_partition, random_partition, round_robin, HashPartitioner, ShardKey,
 };
-pub use streams::{churn_schedule, drifting_stream, shuffled, DynamicOp};
+pub use streams::{churn_schedule, drifting_stream, mixed_trace, shuffled, DynamicOp, TraceOp};

@@ -14,6 +14,41 @@ pub struct DynamicOp<const D: usize> {
     pub insert: bool,
 }
 
+/// One operation of a mixed read/write trace: either a write into the
+/// resident engine or a point query against its published snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceOp<P> {
+    /// Ingest this point (a write).
+    Ingest(P),
+    /// Query this point against the current published view (a read).
+    Query(P),
+}
+
+/// Interleaves an ingest stream and a query stream into one mixed trace,
+/// deterministically per seed.  Both streams are consumed completely and
+/// keep their internal order; at each step the next op is drawn from one
+/// of them with probability proportional to how many of its ops remain,
+/// so the realized query:ingest ratio matches the input lengths and the
+/// mix stays statistically uniform along the whole trace (no burst of
+/// leftover queries at the tail).
+pub fn mixed_trace<P: Clone>(ingest: &[P], queries: &[P], seed: u64) -> Vec<TraceOp<P>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(ingest.len() + queries.len());
+    let (mut i, mut q) = (0usize, 0usize);
+    while i < ingest.len() || q < queries.len() {
+        let remaining_q = (queries.len() - q) as f64;
+        let remaining = remaining_q + (ingest.len() - i) as f64;
+        if rng.random_bool(remaining_q / remaining) {
+            out.push(TraceOp::Query(queries[q].clone()));
+            q += 1;
+        } else {
+            out.push(TraceOp::Ingest(ingest[i].clone()));
+            i += 1;
+        }
+    }
+    out
+}
+
 /// Returns the points in a deterministic random order (Fisher–Yates).
 pub fn shuffled<P: Clone>(points: &[P], seed: u64) -> Vec<P> {
     let mut out: Vec<P> = points.to_vec();
@@ -133,6 +168,37 @@ mod tests {
             }
         }
         assert_eq!(live.len(), 50, "churn preserves live count");
+    }
+
+    #[test]
+    fn mixed_trace_is_an_order_preserving_interleave() {
+        let ingest: Vec<u32> = (0..70).collect();
+        let queries: Vec<u32> = (1000..1030).collect();
+        let trace = mixed_trace(&ingest, &queries, 5);
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace, mixed_trace(&ingest, &queries, 5));
+        let (mut got_i, mut got_q) = (Vec::new(), Vec::new());
+        for op in &trace {
+            match op {
+                TraceOp::Ingest(p) => got_i.push(*p),
+                TraceOp::Query(p) => got_q.push(*p),
+            }
+        }
+        assert_eq!(got_i, ingest, "writes keep their order");
+        assert_eq!(got_q, queries, "reads keep their order");
+        // The mix is spread along the trace, not dumped at the tail: the
+        // first half must already contain reads.
+        assert!(trace[..50].iter().any(|op| matches!(op, TraceOp::Query(_))));
+    }
+
+    #[test]
+    fn mixed_trace_handles_empty_sides() {
+        let pts: Vec<u8> = vec![1, 2, 3];
+        let t = mixed_trace(&pts, &[], 1);
+        assert!(t.iter().all(|op| matches!(op, TraceOp::Ingest(_))));
+        let t = mixed_trace(&[], &pts, 1);
+        assert!(t.iter().all(|op| matches!(op, TraceOp::Query(_))));
+        assert!(mixed_trace::<u8>(&[], &[], 1).is_empty());
     }
 
     #[test]

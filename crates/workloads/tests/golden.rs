@@ -10,7 +10,8 @@
 
 use kcz_workloads::{
     annulus, churn_schedule, colinear, drifting_stream, duplicate_heavy, gaussian_clusters,
-    grid_clusters, outlier_burst, shuffled, two_scale_clusters, uniform_box,
+    grid_clusters, mixed_trace, outlier_burst, query_trace, shuffled, two_scale_clusters,
+    uniform_box, TraceOp,
 };
 
 /// FNV-1a over the quantized coordinates.
@@ -104,6 +105,34 @@ fn outlier_burst_pinned() {
 fn drifting_stream_pinned() {
     let pts = drifting_stream(200, 2, 1.0, 0.5, 0.1, 11);
     assert_eq!(qhash(&pts), 0x1098d19367f42c99);
+}
+
+#[test]
+fn query_trace_pinned() {
+    let sites: Vec<[f64; 2]> = (0..8)
+        .map(|i| [i as f64 * 50.0, (i % 3) as f64 * 40.0])
+        .collect();
+    let qs = query_trace(128, &sites, 1.1, 2.0, 0.1, 0x51);
+    assert_eq!(qs.len(), 128);
+    assert_eq!(qhash(&qs), 0x539bb5b397e4fb6d);
+}
+
+#[test]
+fn mixed_trace_pinned() {
+    let ingest: Vec<[f64; 2]> = colinear(40, [0.0, 0.0], [3.0, 1.0]);
+    let sites: Vec<[f64; 2]> = vec![[0.0, 0.0], [60.0, 20.0], [117.0, 39.0]];
+    let queries = query_trace(24, &sites, 1.0, 1.0, 0.0, 0x52);
+    // Flatten ops into points, tagging reads by a coordinate offset the
+    // quantizer preserves, so the pin covers both content and schedule.
+    let flat: Vec<[f64; 2]> = mixed_trace(&ingest, &queries, 0x53)
+        .into_iter()
+        .map(|op| match op {
+            TraceOp::Ingest(p) => p,
+            TraceOp::Query(p) => [p[0] + 100_000.0, p[1]],
+        })
+        .collect();
+    assert_eq!(flat.len(), 64);
+    assert_eq!(qhash(&flat), 0xfaa23a4295f4d8af);
 }
 
 #[test]

@@ -20,11 +20,12 @@
 //! | [`coreset`] | mini-ball coverings: `MBCConstruction` (Alg. 1), `UpdateCoreset` (Alg. 4), index-accelerated sweeps, composition lemmas, validators |
 //! | [`mpc`] | MPC simulator + the 2-round (Alg. 2), randomized 1-round (Alg. 6), R-round (Alg. 7) algorithms and the CPP19 baseline |
 //! | [`streaming`] | insertion-only (Alg. 3), fully dynamic (Alg. 5), sliding-window structures and streaming baselines |
-//! | [`engine`] | shared execution runtime (persistent worker pool) + the resident sharded ingest engine (`kcz engine`) built on [`coreset::MergeableSummary`] |
+//! | [`engine`] | shared execution runtime (persistent worker pool) + the resident sharded ingest engine (`kcz engine`) built on [`coreset::MergeableSummary`], with memoized epoch publication (`publish`/`latest`) |
+//! | [`serve`] | the read side: immutable published [`serve::SnapshotView`]s, the [`serve::QueryEngine`] (`assign`/`classify`/`nearest_centers` + pool-batched variants, `kcz query`), and the mixed read/write [`serve::LoadDriver`] |
 //! | [`sketch`] | turnstile substrates: s-sparse recovery, F₀ estimation with deletions |
 //! | [`lowerbounds`] | the paper's lower-bound constructions as adversarial generators |
 //! | [`workloads`] | reproducible synthetic data, partitions, stream schedules, adversarial generators |
-//! | [`harness`] | cross-model conformance: scenario catalog, `Pipeline` adapters for all ten pipelines, oracle-checked ratio bounds (`kcz conformance`) |
+//! | [`harness`] | cross-model conformance: scenario catalog, `Pipeline` adapters for all ten pipelines, oracle-checked ratio bounds, served-answer query conformance (`kcz conformance`) |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use kcz_kcenter as kcenter;
 pub use kcz_lowerbounds as lowerbounds;
 pub use kcz_metric as metric;
 pub use kcz_mpc as mpc;
+pub use kcz_serve as serve;
 pub use kcz_sketch as sketch;
 pub use kcz_streaming as streaming;
 pub use kcz_workloads as workloads;
@@ -65,8 +67,8 @@ pub mod prelude {
     };
     pub use kcz_engine::{Engine, EngineConfig, EngineStats, Snapshot};
     pub use kcz_harness::{
-        all_pipelines, catalog, run_conformance, ConformanceReport, Pipeline, Scenario, Tier,
-        Verdict,
+        all_pipelines, catalog, query_violations, run_conformance, ConformanceReport, Pipeline,
+        Scenario, Tier, Verdict,
     };
     pub use kcz_kcenter::{
         cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,
@@ -78,13 +80,17 @@ pub mod prelude {
     pub use kcz_mpc::{
         ceccarello_one_round, one_round_randomized, r_round, two_round, MpcCoreset, MpcRunStats,
     };
+    pub use kcz_serve::{
+        Assignment, Classification, DriverConfig, DriverReport, LatencyHistogram, LoadDriver,
+        QueryEngine, SnapshotView,
+    };
     pub use kcz_streaming::{
         baselines::{ceccarello_stream, mk_doubling},
         DoublingCoreset, DynamicCoreset, InsertionOnlyCoreset, SlidingWindowCoreset,
     };
     pub use kcz_workloads::{
         annulus, churn_schedule, colinear, concentrated_partition, drifting_stream,
-        duplicate_heavy, gaussian_clusters, grid_clusters, outlier_burst, random_partition,
-        round_robin, shuffled, two_scale_clusters, uniform_box,
+        duplicate_heavy, gaussian_clusters, grid_clusters, mixed_trace, outlier_burst, query_trace,
+        random_partition, round_robin, shuffled, two_scale_clusters, uniform_box, TraceOp,
     };
 }

@@ -498,6 +498,210 @@ fn engine_sharding_reports_wider_eps_but_same_fixture_radius() {
 }
 
 #[test]
+fn query_golden_output_on_committed_fixture() {
+    // The whole serving path is deterministic: fixed routing seed,
+    // memoized publish, exact kernel distances, 6-decimal formatting —
+    // so the full stdout for the committed request file is pinned
+    // byte-for-byte (the same pair the CI `query-smoke` step diffs).
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let requests = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/queries.csv");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/query_golden.txt"
+    );
+    let out = kcz()
+        .args([
+            "query",
+            "--input",
+            fixture,
+            "--requests",
+            requests,
+            "--shards",
+            "4",
+            "--batch",
+            "256",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+        ])
+        .output()
+        .expect("run kcz query");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let expected = std::fs::read_to_string(golden).unwrap();
+    assert_eq!(
+        stdout, expected,
+        "served answers drifted from the committed golden \
+         (tests/fixtures/query_golden.txt); regenerate it with \
+         `kcz query --input tests/fixtures/golden.csv --requests \
+         tests/fixtures/queries.csv --shards 4 --batch 256 --k 2 --z 1 \
+         --eps 0.5` if the change is intentional"
+    );
+    // The served epoch matches the engine golden for the same stream:
+    // one publish of the same shards/batch ingest.
+    assert!(stdout.starts_with("query: epoch=1  centers=2"), "{stdout}");
+}
+
+#[test]
+fn query_rejects_bad_requests_with_exit_2() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let dir = std::env::temp_dir().join("kcz_cli_query_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let write_req = |name: &str, body: &str| {
+        let p = dir.join(name);
+        std::fs::write(&p, body).unwrap();
+        p.to_str().unwrap().to_string()
+    };
+    for (req_body, needle) in [
+        (
+            "frobnicate,1,2\n",
+            "expected assign/classify/nearest request",
+        ),
+        ("assign,1\n", "wrong field count for request"),
+        ("assign,1,nope\n", "bad y"),
+        ("classify,1,2,-3\n", "radius must be non-negative"),
+        ("classify,1,2,oops\n", "bad radius"),
+        ("nearest,1,2,-1\n", "bad j"),
+        ("assign,inf,2\n", "non-finite coordinate"),
+    ] {
+        let req = write_req("req.csv", req_body);
+        let out = kcz()
+            .args([
+                "query",
+                "--input",
+                fixture,
+                "--requests",
+                &req,
+                "--shards",
+                "2",
+                "--batch",
+                "16",
+                "--k",
+                "2",
+                "--z",
+                "1",
+                "--eps",
+                "0.5",
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "request `{req_body}`");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "request `{req_body}`: {stderr}");
+        // The one-line message convention: first stderr line carries the
+        // diagnostic, usage follows.
+        assert!(
+            stderr.lines().next().unwrap().contains(needle),
+            "diagnostic must be on the first line: {stderr}"
+        );
+    }
+    // Missing / unreadable request file and missing flags: same contract.
+    for (args, needle) in [
+        (
+            vec![
+                "query", "--shards", "2", "--batch", "16", "--k", "2", "--z", "1", "--eps", "0.5",
+            ],
+            "missing --requests",
+        ),
+        (
+            vec![
+                "query",
+                "--requests",
+                "/nonexistent/req.csv",
+                "--shards",
+                "2",
+                "--batch",
+                "16",
+                "--k",
+                "2",
+                "--z",
+                "1",
+                "--eps",
+                "0.5",
+            ],
+            "reading /nonexistent/req.csv",
+        ),
+        (
+            vec![
+                "query",
+                "--requests",
+                "also-irrelevant",
+                "--shards",
+                "0",
+                "--batch",
+                "16",
+                "--k",
+                "2",
+                "--z",
+                "1",
+                "--eps",
+                "0.5",
+            ],
+            "--shards must be at least 1",
+        ),
+        (
+            vec![
+                "query",
+                "--requests",
+                "also-irrelevant",
+                "--shards",
+                "2",
+                "--batch",
+                "0",
+                "--k",
+                "2",
+                "--z",
+                "1",
+                "--eps",
+                "0.5",
+            ],
+            "--batch must be at least 1",
+        ),
+    ] {
+        let mut cmd = kcz();
+        cmd.args(&args).args(["--input", fixture]);
+        let out = cmd.output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(needle),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_exits_2_with_one_line_message() {
+    let out = kcz().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let first = stderr.lines().next().unwrap();
+    assert!(
+        first.contains("unknown subcommand `frobnicate`"),
+        "{stderr}"
+    );
+    // No subcommand at all follows the same convention.
+    let out = kcz().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr)
+            .lines()
+            .next()
+            .unwrap()
+            .contains("missing subcommand"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn engine_rejects_bad_flags() {
     let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
     for (args, needle) in [
