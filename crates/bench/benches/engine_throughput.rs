@@ -140,6 +140,36 @@ fn bench_engine(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Republish cadence: one shard touched between publishes — the
+    // resident serving steady state.  Incremental re-merges only the
+    // dirty root-to-leaf path of the merge tree (≤ ⌈log₂ shards⌉ pair
+    // merges instead of shards − 1) and clones only the dirty shard;
+    // full rebuilds the whole tree every publish.  Both solve the same
+    // merged bits warm-started from the canonical hint, so the
+    // snapshots are bit-identical — the delta is pure re-merge cost.
+    let mut g = c.benchmark_group("engine_republish");
+    g.sample_size(10);
+    for (label, full) in [("incremental", false), ("full", true)] {
+        g.bench_function(BenchmarkId::new(label, 8), |b| {
+            let mut cfg = EngineConfig::new(8, K, Z, EPS);
+            if full {
+                cfg = cfg.full_republish();
+            }
+            let engine = Engine::new(L2, cfg);
+            for batch in stream[..200_000].chunks(4096) {
+                engine.ingest(batch);
+            }
+            engine.publish();
+            let mut i = 0usize;
+            b.iter(|| {
+                engine.ingest(&[site_point(i % SITES)]);
+                i += 1;
+                black_box(engine.publish().epoch)
+            });
+        });
+    }
+    g.finish();
 }
 
 criterion_group!(benches, bench_engine);

@@ -40,5 +40,7 @@ pub use bounds::{mbc_size_bound, streaming_capacity};
 pub use compose::union_coverings;
 pub use fast::{absorb_sweep, update_coreset_grid};
 pub use mbc::{mbc_construction, mbc_construction_with, MiniBallCovering};
-pub use merge::{end_to_end_factor, merge_level, merge_tree, MergeableSummary};
+pub use merge::{
+    end_to_end_factor, leaf_span, merge_level, merge_tree, tree_depth, MergeableSummary,
+};
 pub use update::update_coreset;

@@ -127,6 +127,40 @@ pub fn merge_tree<S: MergeableSummary>(mut layer: Vec<S>) -> Option<S> {
     layer.pop()
 }
 
+/// Number of [`merge_level`] rounds a tree over `leaves` inputs performs
+/// before one summary remains: `⌈log₂ leaves⌉` (0 for zero or one leaf).
+/// This is the generation count the composed ε′ accounting charges —
+/// cache-reusing executors must re-merge a dirty leaf's path through
+/// exactly this many levels.
+pub fn tree_depth(leaves: usize) -> usize {
+    let mut depth = 0;
+    let mut width = leaves;
+    while width > 1 {
+        width = width.div_ceil(2);
+        depth += 1;
+    }
+    depth
+}
+
+/// The leaves covered by node `index` of level `level` in the balanced
+/// merge tree over `leaves` inputs (level 0 is the leaves themselves,
+/// level [`tree_depth`] the root): `[index·2^level, (index+1)·2^level)`
+/// clipped to `leaves`.
+///
+/// This is the cache key of an incremental re-merge: a cached interior
+/// node may be reused iff no leaf in its span changed, because
+/// [`merge_level`] pairs adjacent nodes — node `(ℓ+1, i)` is built from
+/// `(ℓ, 2i)` and `(ℓ, 2i+1)`, so spans compose exactly this way (an
+/// unpaired odd tail carries the left child's span unchanged, and both
+/// expressions clip to the same range).  The returned range is empty iff
+/// the node does not exist at that level.
+pub fn leaf_span(level: usize, index: usize, leaves: usize) -> std::ops::Range<usize> {
+    let width = 1usize << level.min(usize::BITS as usize - 1);
+    let lo = index.saturating_mul(width).min(leaves);
+    let hi = (index.saturating_add(1)).saturating_mul(width).min(leaves);
+    lo..hi
+}
+
 /// Validates that two summaries built over a metric agree on it enough to
 /// merge (helper for implementors that cannot compare metrics directly:
 /// doubling dimension is the only observable parameter).
@@ -222,5 +256,59 @@ mod tests {
     #[test]
     fn metric_compatibility_is_doubling_dim() {
         assert!(compatible_metrics::<[f64; 2], _>(&L2, &L2));
+    }
+
+    #[test]
+    fn tree_depth_counts_merge_level_rounds() {
+        assert_eq!(tree_depth(0), 0);
+        assert_eq!(tree_depth(1), 0);
+        for leaves in 2..=64usize {
+            // Count the rounds the real reduction performs.
+            let mut rounds = 0;
+            let mut layer: Vec<usize> = (0..leaves).collect();
+            while layer.len() > 1 {
+                layer = merge_level(layer).into_iter().map(|(l, _)| l).collect();
+                rounds += 1;
+            }
+            assert_eq!(tree_depth(leaves), rounds, "leaves = {leaves}");
+            assert_eq!(tree_depth(leaves), (leaves as f64).log2().ceil() as usize);
+        }
+    }
+
+    #[test]
+    fn leaf_span_matches_merge_level_pairing() {
+        // Build the tree over labelled leaf sets and check every node's
+        // set equals its `leaf_span` — the span formula and the pairing
+        // of `merge_level` must be the same shape definition.
+        for leaves in 1..=17usize {
+            let mut layer: Vec<Vec<usize>> = (0..leaves).map(|i| vec![i]).collect();
+            let mut level = 0;
+            loop {
+                for (i, node) in layer.iter().enumerate() {
+                    let span = leaf_span(level, i, leaves);
+                    assert_eq!(
+                        node.clone(),
+                        span.collect::<Vec<_>>(),
+                        "leaves = {leaves}, level = {level}, node = {i}"
+                    );
+                }
+                // Nodes past the level's width must have empty spans.
+                assert!(leaf_span(level, layer.len(), leaves).is_empty());
+                if layer.len() == 1 {
+                    break;
+                }
+                layer = merge_level(layer)
+                    .into_iter()
+                    .map(|(mut l, r)| {
+                        if let Some(r) = r {
+                            l.extend(r);
+                        }
+                        l
+                    })
+                    .collect();
+                level += 1;
+            }
+            assert_eq!(level, tree_depth(leaves));
+        }
     }
 }

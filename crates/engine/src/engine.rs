@@ -26,13 +26,13 @@
 //! [`Snapshot::bound_factor`] turns into the end-to-end `3 + 8ε′` ratio
 //! bound the conformance harness checks.
 
-use kcz_coreset::{end_to_end_factor, MergeableSummary};
-use kcz_kcenter::greedy;
+use kcz_coreset::{end_to_end_factor, tree_depth, MergeableSummary};
+use kcz_kcenter::{farthest_first, greedy_with, GreedyParams};
 use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
 use kcz_streaming::InsertionOnlyCoreset;
 use kcz_workloads::{HashPartitioner, ShardKey};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::runtime::{global, Pool};
 
@@ -49,11 +49,18 @@ pub struct EngineConfig {
     pub eps: f64,
     /// Seed of the hash partitioner (routing is deterministic given it).
     pub seed: u64,
+    /// Incremental publish: keep the merge tree (leaf clones + interior
+    /// nodes) across epochs, re-merging only root-to-dirty-leaf
+    /// subtrees.  `false` rebuilds every publish from scratch.  Either
+    /// mode solves identically (warm-started from the canonical
+    /// merged-summary hint), so published snapshots are bit-identical
+    /// across modes.
+    pub incremental: bool,
 }
 
 impl EngineConfig {
-    /// A config with the given shard count and the catalog's default
-    /// routing seed.
+    /// A config with the given shard count, the catalog's default
+    /// routing seed, and incremental publishing on.
     pub fn new(shards: usize, k: usize, z: u64, eps: f64) -> Self {
         EngineConfig {
             shards,
@@ -61,7 +68,17 @@ impl EngineConfig {
             z,
             eps,
             seed: 0x5EED_0E16,
+            incremental: true,
         }
+    }
+
+    /// Turns incremental publishing off: every publish re-clones every
+    /// shard, re-runs the whole merge tree, and solves cold.  The
+    /// conformance harness uses this as the from-scratch oracle the
+    /// incremental path is certified against.
+    pub fn full_republish(mut self) -> Self {
+        self.incremental = false;
+        self
     }
 }
 
@@ -77,9 +94,12 @@ pub struct EngineStats {
     /// Largest peak storage of any single shard, in words (the paper's
     /// per-machine measure: shards are machines).
     pub shard_peak_words: usize,
-    /// Extra words held transiently by this snapshot's merge: the cloned
-    /// shard summaries live alongside the shards until the reduction
-    /// consumes them.
+    /// Extra words held by this snapshot's merge tree: the cloned shard
+    /// summaries *and every interior node of the reduction* live
+    /// alongside the shards (transiently for a full republish, resident
+    /// in the tree cache for an incremental one).  Interior levels are
+    /// counted too — recompression can transiently grow a merged
+    /// summary past the sum of its leaves.
     pub merge_transient_words: usize,
     /// Words of the merged summary the snapshot solved on.
     pub summary_words: usize,
@@ -117,6 +137,40 @@ impl<P: SpaceUsage> SpaceUsage for Snapshot<P> {
     }
 }
 
+/// Recovers a poisoned mutex guard.  Publish-path state (the snapshot
+/// cache, the herd guard, the merge-tree cache) is kept internally
+/// consistent at every step — a publisher that panicked mid-solve has
+/// taken the tree cache out (leaving `None`, which just means the next
+/// publish rebuilds cold) and never half-writes the snapshot cache —
+/// so later publishers must not be wedged by the poison marker.
+///
+/// Shard locks deliberately keep their `.expect`: a panic mid-insert
+/// leaves a shard summary mid-mutation with unknown invariants, and
+/// nothing can be republished from it.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The incremental-publish state carried from one epoch to the next:
+/// the full merge tree of the previous publish.  Clean subtrees are
+/// reused bit-for-bit; only root-to-dirty-leaf paths are re-merged.
+struct TreeCache<P, M: MetricSpace<P>> {
+    /// Per-shard version stamp each leaf clone was taken at.
+    leaf_versions: Vec<u64>,
+    /// `levels[0]` are the leaf clones (one per shard), `levels[g]` the
+    /// nodes after merge generation `g`; the last level is the single
+    /// merged root the epoch solved on.
+    levels: Vec<Vec<InsertionOnlyCoreset<P, M>>>,
+}
+
 /// A long-lived, sharded clustering engine over one metric space.
 ///
 /// `ingest` and `snapshot` take `&self`: the engine is shared across
@@ -135,9 +189,19 @@ pub struct Engine<P, M: MetricSpace<P>> {
     /// snapshot with the version it observed before cloning, so an
     /// unchanged version proves the cached snapshot is still current.
     version: AtomicU64,
+    /// Per-shard dirty tracking: bumped (Release) for every shard a
+    /// batch touched, after the batch landed and before the global
+    /// `version` bump — a publish that observes the new global version
+    /// therefore also observes every shard bump it implies.
+    shard_versions: Vec<AtomicU64>,
     /// Full merge-tree + solve passes performed (the read side's
     /// regression surface: an unchanged version must not re-solve).
     solves: AtomicU64,
+    /// Pair merges actually performed across all publishes (the
+    /// incremental path's regression surface: a publish after touching
+    /// one of N shards re-merges one root-to-leaf path, ≤ ⌈log₂N⌉
+    /// merges, not N-1).
+    merges: AtomicU64,
     /// The last published snapshot, keyed by the data version it was
     /// solved at.  Readers (`latest`) clone the `Arc` under a brief read
     /// lock; only a publish of a *newer* epoch takes the write lock.
@@ -145,12 +209,15 @@ pub struct Engine<P, M: MetricSpace<P>> {
     /// Collapses a publish herd: when several threads race `publish` on
     /// the same new data version, one solves while the rest wait here
     /// and then take the refreshed cache — N concurrent refreshers cost
-    /// one merge + solve, not N.
+    /// one merge + solve, not N.  Publishers are fully serialized by
+    /// this lock, which also orders epoch assignment with the clone
+    /// phase (no separate snapshot lock needed).
     publish_order: Mutex<()>,
-    /// Serializes epoch assignment with the clone phase, so concurrent
-    /// snapshotters get epoch numbers consistent with snapshot contents
-    /// (the merge and solve still run outside this lock).
-    snapshot_order: Mutex<()>,
+    /// The previous epoch's merge tree (incremental mode only; always
+    /// `None` with `full_republish`).  Taken out for the duration of a
+    /// publish so a panicking solve leaves `None` and the next publish
+    /// rebuilds cold.
+    tree_cache: Mutex<Option<TreeCache<P, M>>>,
     /// Largest merge transient observed over all snapshots.
     peak_merge_transient: AtomicUsize,
     pool: &'static Pool,
@@ -179,19 +246,21 @@ where
             .collect();
         Engine {
             router: HashPartitioner::new(cfg.shards, cfg.seed),
-            cfg,
             metric,
             shards,
             points: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             version: AtomicU64::new(0),
+            shard_versions: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
             solves: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
             published: RwLock::new(None),
             publish_order: Mutex::new(()),
-            snapshot_order: Mutex::new(()),
+            tree_cache: Mutex::new(None),
             peak_merge_transient: AtomicUsize::new(0),
             pool: global(),
+            cfg,
         }
     }
 
@@ -223,11 +292,20 @@ where
         self.version.load(Ordering::Acquire)
     }
 
-    /// Full merge-tree + Charikar solves performed so far.  Publishing an
+    /// Merge-tree + Charikar solves performed so far.  Publishing an
     /// unchanged version returns the cached snapshot and does not bump
     /// this — the regression surface for the snapshot fast path.
     pub fn solves(&self) -> u64 {
         self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Pair merges actually performed so far, across all publishes.  A
+    /// cold publish of `N` shards costs `N-1`; an incremental publish
+    /// after touching a single shard costs at most `⌈log₂N⌉` (one
+    /// root-to-leaf path) — the regression surface for the dirty-shard
+    /// re-merge.
+    pub fn merges(&self) -> u64 {
+        self.merges.load(Ordering::Relaxed)
     }
 
     /// Ingests one batch of unit-weight points: routes every point to its
@@ -273,12 +351,21 @@ where
             // An empty flush is a no-op, not an accepted batch.
             return;
         }
+        let touched: Vec<usize> = jobs.iter().map(|(shard, _)| *shard).collect();
         self.pool.scoped_map(jobs, |_, (shard, sub)| {
             let mut guard = self.shards[shard].lock().expect("shard lock");
             for item in sub {
                 insert(&mut guard, item);
             }
         });
+        // Per-shard dirty bits bump strictly after the batch landed and
+        // strictly before the global version: a publish that reads the
+        // new global version (Acquire) therefore observes every shard
+        // bump the batch implies, and can only over-approximate
+        // dirtiness, never reuse a stale leaf.
+        for shard in touched {
+            self.shard_versions[shard].fetch_add(1, Ordering::Release);
+        }
         self.points.fetch_add(total, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         // Version bumps strictly *after* the batch has landed: a publish
@@ -312,8 +399,11 @@ where
             return snap;
         }
         // Herd guard: one publisher solves, the rest wait and take the
-        // refreshed cache (double-checked after acquiring the lock).
-        let _publishing = self.publish_order.lock().expect("publish order lock");
+        // refreshed cache (double-checked after acquiring the lock).  A
+        // previous publisher that panicked poisons nothing observable:
+        // the guard is recovered, the cache it left behind is either the
+        // old complete snapshot or none at all.
+        let _publishing = lock_recover(&self.publish_order);
         if let Some(snap) = self.cached_if_current() {
             return snap;
         }
@@ -321,7 +411,7 @@ where
         let snap = Arc::new(snap);
         // Publishers are serialized by `publish_order`, so cache epochs
         // strictly increase: an unconditional store never regresses.
-        *self.published.write().expect("publish lock") = Some((version, Arc::clone(&snap)));
+        *write_recover(&self.published) = Some((version, Arc::clone(&snap)));
         snap
     }
 
@@ -329,7 +419,7 @@ where
     /// equals the engine's data version).
     fn cached_if_current(&self) -> Option<Arc<Snapshot<P>>> {
         let current = self.version.load(Ordering::Acquire);
-        match &*self.published.read().expect("publish lock") {
+        match &*read_recover(&self.published) {
             Some((version, snap)) if *version == current => Some(Arc::clone(snap)),
             _ => None,
         }
@@ -341,77 +431,184 @@ where
     /// its certified bounds are frozen per snapshot, which is exactly the
     /// consistency contract the read side serves under.
     pub fn latest(&self) -> Option<Arc<Snapshot<P>>> {
-        self.published
-            .read()
-            .expect("publish lock")
+        read_recover(&self.published)
             .as_ref()
             .map(|(_, snap)| Arc::clone(snap))
     }
 
-    /// The slow path behind [`Engine::publish`]: clones every shard
-    /// summary under a brief per-shard lock, reduces the clones in a
-    /// balanced merge tree on the pool (ingest proceeds meanwhile), and
-    /// solves the merged coreset with the Charikar-et-al. greedy.
-    /// Returns the data version the snapshot is valid for.
+    /// The slow path behind [`Engine::publish`], called only with
+    /// `publish_order` held (publishers are fully serialized, which
+    /// also orders epoch assignment with the clone phase).  Clones the
+    /// *dirty* shard summaries under brief per-shard locks (clean
+    /// shards are reused from the previous epoch's tree cache without
+    /// taking their locks at all), re-merges only root-to-dirty-leaf
+    /// subtrees of the balanced merge tree on the pool, and solves the
+    /// merged coreset with the Charikar-et-al. greedy, warm-started
+    /// from the canonical merged-summary hint (the Gonzalez (k+z)
+    /// radius).  Returns the data version the snapshot is valid for.
     ///
     /// Deterministic given the shard contents: the tree shape depends
-    /// only on the shard count, and each pair merge is a sequential
-    /// recompression.
+    /// only on the shard count (pairing per `kcz_coreset::merge_level`),
+    /// each pair merge is a sequential recompression, and a reused
+    /// clean node is bit-identical to re-merging its unchanged leaves.
+    /// The ε′-per-generation accounting follows the tree depth exactly
+    /// as in a full rebuild, so `bound_factor = 3 + 8ε′` is unchanged.
     fn solve_snapshot(&self) -> (u64, Snapshot<P>) {
-        // Epoch assignment and the clone phase are serialized together:
-        // otherwise two concurrent snapshotters could draw epochs in one
-        // order and clone in the other, handing epoch n a *later* view
-        // than epoch n+1.  Ingest never takes this lock — it stalls only
-        // on the brief per-shard clone locks below.
-        let (version, epoch, clones, shard_peak_words) = {
-            let _serialize = self.snapshot_order.lock().expect("snapshot lock");
-            // Read the version *before* cloning: a batch landing during
-            // the clone phase may or may not be in the clones, but the
-            // stamp is then conservative (older), so the cache can only
-            // under-claim freshness, never serve stale data as current.
-            let version = self.version.load(Ordering::Acquire);
-            let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-            // Phase 1: clone under brief locks, collecting per-shard peaks.
-            let mut clones = Vec::with_capacity(self.cfg.shards);
-            let mut shard_peak_words = 0usize;
-            for shard in &self.shards {
-                let guard = shard.lock().expect("shard lock");
-                shard_peak_words = shard_peak_words.max(guard.peak_words());
-                clones.push(guard.clone());
+        // Take the previous tree out for the duration: a panic below
+        // leaves `None` and the next publish simply rebuilds cold.
+        let prev = lock_recover(&self.tree_cache).take();
+        let n = self.cfg.shards;
+
+        // Read the global version *before* the per-shard stamps and the
+        // stamps *before* each clone: a batch landing mid-publish may or
+        // may not be in the clones, but every stamp is then conservative
+        // (older), so the caches can only under-claim freshness — a
+        // redundant re-clone or re-solve, never stale data served as
+        // current.  Every batch the observed global version implies has
+        // already bumped its shard versions (Release before Release), so
+        // a clean stamp match really means "unchanged since the cached
+        // clone".
+        let version = self.version.load(Ordering::Acquire);
+        let mut stamps = vec![0u64; n];
+        for (i, stamp) in stamps.iter_mut().enumerate() {
+            *stamp = self.shard_versions[i].load(Ordering::Acquire);
+        }
+        let cached = match prev {
+            Some(c) if c.leaf_versions.len() == n => {
+                let dirty: Vec<bool> = (0..n).map(|i| c.leaf_versions[i] != stamps[i]).collect();
+                Some((c.levels, dirty))
             }
-            (version, epoch, clones, shard_peak_words)
+            _ => None,
         };
-        let merge_transient_words: usize = clones.iter().map(|c| c.space_words()).sum();
+        let (prev_levels, dirty) = match cached {
+            Some((levels, dirty)) => {
+                let wrapped: Vec<Vec<Option<InsertionOnlyCoreset<P, M>>>> = levels
+                    .into_iter()
+                    .map(|lvl| lvl.into_iter().map(Some).collect())
+                    .collect();
+                (wrapped, dirty)
+            }
+            None => (Vec::new(), vec![true; n]),
+        };
+
+        // Phase 1: leaves.  Dirty shards are cloned under their brief
+        // lock; clean shards reuse the cached clone — no shard lock, no
+        // copy.  The cached clone carries the shard's peak-words reading
+        // from clone time, which is still exact while the stamp matches.
+        let mut prev_levels = prev_levels;
+        let mut leaves = Vec::with_capacity(n);
+        let mut shard_peak_words = 0usize;
+        for i in 0..n {
+            if !dirty[i] {
+                let leaf = prev_levels[0][i].take().expect("clean leaf cached");
+                shard_peak_words = shard_peak_words.max(leaf.peak_words());
+                leaves.push(leaf);
+            } else {
+                let guard = self.shards[i].lock().expect("shard lock");
+                shard_peak_words = shard_peak_words.max(guard.peak_words());
+                leaves.push(guard.clone());
+            }
+        }
+
+        // Phase 2: the balanced merge tree, one pool round per level,
+        // pairing adjacent nodes exactly as `kcz_coreset::merge_level`
+        // does (the single tree-shape definition `merge_tree` folds), so
+        // the reduction is bit-identical to the sequential full rebuild
+        // and the ε′-per-generation accounting matches the tree depth.
+        // A pair is re-merged only when one of its leaves is dirty;
+        // clean pairs take the cached node.  All levels are kept — they
+        // are the next epoch's cache.
+        let depth = tree_depth(n);
+        let mut levels: Vec<Vec<InsertionOnlyCoreset<P, M>>> = vec![leaves];
+        let mut level_dirty = dirty;
+        // Interior cache levels, bottom-up (empty when nothing was
+        // cached — but then every pair is dirty and none is consulted).
+        let mut cached_above = prev_levels.into_iter().skip(1);
+        for _ in 1..=depth {
+            let mut cached = cached_above.next().unwrap_or_default();
+            let below = levels.last().expect("level below exists");
+            let width = below.len().div_ceil(2);
+            let pair_dirty: Vec<bool> = (0..width)
+                .map(|p| level_dirty[2 * p] || level_dirty.get(2 * p + 1).copied().unwrap_or(false))
+                .collect();
+            let mut nodes: Vec<Option<InsertionOnlyCoreset<P, M>>> =
+                (0..width).map(|_| None).collect();
+            let mut jobs = Vec::new();
+            for (p, node) in nodes.iter_mut().enumerate() {
+                if !pair_dirty[p] {
+                    *node = Some(cached[p].take().expect("clean node cached"));
+                } else {
+                    let left = below[2 * p].clone();
+                    let right = below.get(2 * p + 1).cloned();
+                    if right.is_some() {
+                        self.merges.fetch_add(1, Ordering::Relaxed);
+                    }
+                    jobs.push((p, left, right));
+                }
+            }
+            let remerged = self.pool.scoped_map(jobs, |_, (p, mut left, right)| {
+                if let Some(right) = right {
+                    MergeableSummary::merge(&mut left, right);
+                }
+                (p, left)
+            });
+            for (p, node) in remerged {
+                nodes[p] = Some(node);
+            }
+            levels.push(nodes.into_iter().map(|n| n.expect("node filled")).collect());
+            level_dirty = pair_dirty;
+        }
+        let merge_transient_words: usize = levels
+            .iter()
+            .flat_map(|lvl| lvl.iter())
+            .map(|node| node.space_words())
+            .sum();
         self.peak_merge_transient
             .fetch_max(merge_transient_words, Ordering::Relaxed);
+        let merged = levels.last().and_then(|l| l.first()).expect("merged root");
 
-        // Phase 2: balanced merge tree, one pool round per level.  The
-        // tree shape comes from `kcz_coreset::merge_level` — the same
-        // single definition `merge_tree` folds — so the pool-mapped
-        // reduction is bit-identical to the sequential one and the
-        // ε′-per-generation accounting matches the tree depth.
-        let mut layer = clones;
-        while layer.len() > 1 {
-            layer =
-                self.pool
-                    .scoped_map(kcz_coreset::merge_level(layer), |_, (mut left, right)| {
-                        if let Some(right) = right {
-                            MergeableSummary::merge(&mut left, right);
-                        }
-                        left
-                    });
-        }
-        let merged = layer.pop().expect("at least one shard");
-
-        // Phase 3: solve on the merged summary.
+        // Phase 3: solve on the merged summary, warm-started from a
+        // *canonical* hint — the Gonzalez (k+z)-center radius of the
+        // merged coreset.  The hint is a pure function of the merged
+        // bits (no publish history), so every mode — incremental,
+        // full-republish, a from-scratch oracle — computes the same
+        // hint on the same data and settles on bit-identical answers,
+        // while the search pays ~2·log₂(gap) probes around the hint
+        // instead of a full cold bisection.  (R_gonz(k+z) ≤ 2·opt_{k,z}
+        // and every guess ≥ opt is feasible, so the gap is O(1) grid
+        // steps.)  Fallback to a cold solve when the hint degenerates:
+        // k+z covers most of the coreset (radius ≈ 0, galloping up from
+        // the bottom would cost more than bisecting).
         self.solves.fetch_add(1, Ordering::Relaxed);
-        let sol = greedy(&self.metric, merged.coreset(), self.cfg.k, self.cfg.z);
+        let radius_bound = merged.radius_bound();
+        let budget = self.cfg.k.saturating_add(self.cfg.z as usize);
+        let params = if budget < merged.coreset().len() / 2 {
+            let hint = farthest_first(&self.metric, merged.coreset(), budget, 0).radius;
+            if hint > 0.0 {
+                GreedyParams::warm(hint)
+            } else {
+                GreedyParams::default()
+            }
+        } else {
+            GreedyParams::default()
+        };
+        let sol = greedy_with(
+            &self.metric,
+            merged.coreset(),
+            self.cfg.k,
+            self.cfg.z,
+            &params,
+        );
         let effective_eps = merged.effective_eps();
+        // The epoch number is drawn only now, on success: a panicking
+        // merge or solve burns no epoch, keeping the "epochs advance
+        // only when data did" contract across failed publishes.
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Snapshot {
             epoch,
             centers: sol.centers,
             radius: sol.radius,
-            radius_bound: merged.radius_bound(),
+            radius_bound,
             uncovered: sol.uncovered,
             effective_eps,
             bound_factor: end_to_end_factor(effective_eps),
@@ -425,6 +622,12 @@ where
             },
             coreset: merged.coreset().to_vec(),
         };
+        if self.cfg.incremental {
+            *lock_recover(&self.tree_cache) = Some(TreeCache {
+                leaf_versions: stamps,
+                levels,
+            });
+        }
         (version, snap)
     }
 

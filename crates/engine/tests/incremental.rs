@@ -1,0 +1,241 @@
+//! The incremental-publish contract, pinned three ways:
+//!
+//! 1. **History independence** (the dirty-tracking property test): under
+//!    seeded random schedules of ingest batches, publishes, and idle
+//!    republishes, every published snapshot is bit-identical to what a
+//!    from-scratch, full-republish engine fed the same prefix publishes —
+//!    the tree cache and the warm-started solve never leak publish
+//!    history into the answer.
+//! 2. **Work bounds** (the `merges()` regression): a cold publish of N
+//!    shards pays N-1 pair merges; a publish after touching one shard
+//!    pays at most the depth of the dirty root-to-leaf path.
+//! 3. **Failure atomicity**: a publish that panics mid-merge burns no
+//!    epoch number and poisons nothing a later publish needs — the next
+//!    publish rebuilds cold and succeeds.
+
+use kcz_engine::{Engine, EngineConfig, Snapshot};
+use kcz_metric::{MetricSpace, L2};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Seeded xorshift stream: two clusters plus sparse far outliers.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn point(&mut self) -> [f64; 2] {
+        let r = self.next_u64();
+        let unit = (r >> 11) as f64 / (1u64 << 53) as f64;
+        match r % 50 {
+            49 => [4000.0 + unit * 500.0, -2500.0],
+            n if n % 2 == 0 => [unit * 4.0, unit * 3.0],
+            _ => [120.0 + unit * 4.0, 120.0 + unit * 4.0],
+        }
+    }
+
+    fn batch(&mut self, max_len: usize) -> Vec<[f64; 2]> {
+        let len = 1 + (self.next_u64() as usize) % max_len;
+        (0..len).map(|_| self.point()).collect()
+    }
+}
+
+/// Everything the bit-identity contract covers: solved answer, certified
+/// bounds, the merged coreset itself, and its space accounting.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    centers: Vec<[u64; 2]>,
+    radius: u64,
+    radius_bound: u64,
+    uncovered: u64,
+    effective_eps: u64,
+    coreset: Vec<(u64, u64, u64)>,
+    summary_words: usize,
+}
+
+fn fingerprint(snap: &Snapshot<[f64; 2]>) -> Fingerprint {
+    Fingerprint {
+        centers: snap
+            .centers
+            .iter()
+            .map(|c| [c[0].to_bits(), c[1].to_bits()])
+            .collect(),
+        radius: snap.radius.to_bits(),
+        radius_bound: snap.radius_bound.to_bits(),
+        uncovered: snap.uncovered,
+        effective_eps: snap.effective_eps.to_bits(),
+        coreset: snap
+            .coreset
+            .iter()
+            .map(|w| (w.point[0].to_bits(), w.point[1].to_bits(), w.weight))
+            .collect(),
+        summary_words: snap.stats.summary_words,
+    }
+}
+
+#[test]
+fn random_schedules_are_bit_identical_to_from_scratch_publishes() {
+    for (seed, shards) in [
+        (0xA11CE_u64, 1usize),
+        (0xB0B_u64, 3),
+        (0xC0FFEE_u64, 4),
+        (0xD00D_u64, 8),
+        (0x5EED_u64, 8),
+    ] {
+        let cfg = EngineConfig::new(shards, 2, 8, 0.5);
+        let incremental = Engine::new(L2, cfg);
+        // A persistent cold engine publishing at the same instants: the
+        // warm-started solve must agree with the cold solve on the same
+        // merged data, epoch for epoch.
+        let cold = Engine::new(L2, cfg.full_republish());
+        let mut gen = Gen(seed);
+        let mut prefix: Vec<Vec<[f64; 2]>> = Vec::new();
+        let mut publishes = 0u64;
+        let mut epochs = 0u64;
+        let mut dirty = false;
+        for _ in 0..40 {
+            match gen.next_u64() % 4 {
+                // Republish with no intervening ingest comes back cached
+                // (same epoch); with unpublished ingests it is a real
+                // publish and burns an epoch — either way both engines
+                // must agree bit for bit.
+                0 => {
+                    // The first publish ever always solves (nothing is
+                    // cached yet), even on an empty engine.
+                    if dirty || epochs == 0 {
+                        epochs += 1;
+                        dirty = false;
+                    }
+                    let (a, b) = (incremental.publish(), cold.publish());
+                    if !prefix.is_empty() {
+                        assert_eq!(a.epoch, epochs, "seed {seed:#x}");
+                        assert_eq!(fingerprint(&a), fingerprint(&b));
+                    }
+                }
+                1 => {
+                    let batch = gen.batch(48);
+                    incremental.ingest(&batch);
+                    cold.ingest(&batch);
+                    prefix.push(batch);
+                    dirty = true;
+                }
+                _ => {
+                    let batch = gen.batch(48);
+                    incremental.ingest(&batch);
+                    cold.ingest(&batch);
+                    prefix.push(batch);
+                    publishes += 1;
+                    epochs += 1;
+                    dirty = false;
+                    let inc = incremental.publish();
+                    assert_eq!(inc.epoch, epochs, "seed {seed:#x}");
+                    // Oracle 1: the persistent cold engine.
+                    let per_epoch = cold.publish();
+                    assert_eq!(
+                        fingerprint(&inc),
+                        fingerprint(&per_epoch),
+                        "seed {seed:#x} shards {shards} epoch {publishes}: warm/cached \
+                         publish diverged from the cold engine"
+                    );
+                    // Oracle 2: a brand-new engine fed the same prefix,
+                    // publishing exactly once — no cache, no warm state,
+                    // no publish history at all.
+                    let scratch = Engine::new(L2, cfg.full_republish());
+                    for b in &prefix {
+                        scratch.ingest(b);
+                    }
+                    assert_eq!(
+                        fingerprint(&inc),
+                        fingerprint(&scratch.snapshot()),
+                        "seed {seed:#x} shards {shards} epoch {publishes}: incremental \
+                         publish diverged from a from-scratch engine"
+                    );
+                }
+            }
+        }
+        assert!(publishes >= 10, "schedule exercised too few publishes");
+    }
+}
+
+#[test]
+fn touching_one_shard_remerges_at_most_the_dirty_path() {
+    let engine = Engine::new(L2, EngineConfig::new(8, 2, 4, 0.5));
+    // Spread a batch over all shards and publish cold: 7 pair merges.
+    let mut gen = Gen(0xFEED);
+    engine.ingest(&(0..256).map(|_| gen.point()).collect::<Vec<_>>());
+    engine.publish();
+    assert_eq!(engine.merges(), 7, "cold 8-shard publish is 7 pair merges");
+
+    // One point touches exactly one shard; republishing re-merges only
+    // that leaf's root path: ≤ ⌈log₂ 8⌉ = 3 pair merges, not 7.
+    for i in 0..5u64 {
+        let before = engine.merges();
+        engine.ingest(&[[3.0 + i as f64, 1.0]]);
+        engine.publish();
+        let cost = engine.merges() - before;
+        assert!(cost <= 3, "dirty-path republish cost {cost} > 3");
+        assert!(cost >= 1, "a dirty shard must re-merge something");
+    }
+
+    // An idle republish re-merges nothing at all.
+    let before = engine.merges();
+    engine.publish();
+    assert_eq!(engine.merges(), before);
+}
+
+/// An L2 wrapper that can be armed to panic on the next distance
+/// evaluation — inside the pool-mapped merge, from the publisher's
+/// perspective — then disarmed to let the retry succeed.
+#[derive(Clone)]
+struct FlakyL2 {
+    armed: Arc<AtomicBool>,
+}
+
+impl MetricSpace<[f64; 2]> for FlakyL2 {
+    fn dist(&self, a: &[f64; 2], b: &[f64; 2]) -> f64 {
+        assert!(
+            !self.armed.load(Ordering::Relaxed),
+            "injected metric failure"
+        );
+        L2.dist(a, b)
+    }
+
+    fn doubling_dim(&self) -> usize {
+        <L2 as MetricSpace<[f64; 2]>>::doubling_dim(&L2)
+    }
+}
+
+#[test]
+fn panicking_publish_burns_no_epoch_and_recovers() {
+    let armed = Arc::new(AtomicBool::new(false));
+    let metric = FlakyL2 {
+        armed: Arc::clone(&armed),
+    };
+    let engine = Engine::new(metric, EngineConfig::new(4, 2, 6, 0.5));
+    let mut gen = Gen(0xBAD5EED);
+    engine.ingest(&(0..200).map(|_| gen.point()).collect::<Vec<_>>());
+
+    // Arm *after* ingest: shard locks are healthy, and the publish dies
+    // inside the merge/solve it runs on the pool.
+    armed.store(true, Ordering::Relaxed);
+    let died = catch_unwind(AssertUnwindSafe(|| engine.publish()));
+    assert!(died.is_err(), "armed publish must propagate the panic");
+    assert_eq!(engine.epoch(), 0, "failed publish must not burn an epoch");
+    assert!(engine.latest().is_none(), "nothing was published");
+
+    // Disarm: the next publish must recover the poisoned publish locks,
+    // rebuild cold, and succeed with the first epoch number.
+    armed.store(false, Ordering::Relaxed);
+    let snap = engine.publish();
+    assert_eq!(snap.epoch, 1, "recovered publish takes epoch 1");
+    assert_eq!(engine.epoch(), 1);
+    let again = engine.publish();
+    assert_eq!(again.epoch, 1, "cached republish after recovery");
+    assert!(engine.latest().is_some());
+}

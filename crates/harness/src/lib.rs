@@ -17,6 +17,10 @@
 //! resident engine per scenario, publishes a snapshot, and re-checks
 //! every answer the query layer serves (exact nearest-center agreement,
 //! classify coherence, the epoch's certified bound) — see [`query`].
+//! And so is the engine's incremental-publish mode:
+//! [`incremental_violations`] replays each scenario with mid-stream
+//! publishes and certifies every checked epoch bit-for-bit against a
+//! from-scratch engine fed the same prefix — see [`incremental`].
 //!
 //! The facade exposes this as `kcz conformance [--tier smoke|full]
 //! [--json <path>]`; CI runs the smoke tier on every push and fails on
@@ -24,11 +28,13 @@
 
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod pipeline;
 pub mod query;
 pub mod report;
 pub mod scenario;
 
+pub use incremental::incremental_violations;
 pub use pipeline::{all_pipelines, Model, Pipeline, RadiusBound, Verdict};
 pub use query::query_violations;
 pub use report::{exact_radius, run_conformance, within_bound, ConformanceReport, ScenarioReport};

@@ -462,7 +462,7 @@ struct EnginePipeline;
 
 /// Batch size the adapter feeds the engine with (small enough that every
 /// catalog scenario spans several batches).
-const ENGINE_BATCH: usize = 16;
+pub(crate) const ENGINE_BATCH: usize = 16;
 
 /// Builds and feeds the resident engine for one scenario — the **single
 /// construction path** shared by the engine pipeline's verdict and the

@@ -135,18 +135,31 @@ impl ConformanceReport {
     /// Machine-readable JSON (hand-rolled: the workspace is offline and
     /// carries no serde).  Key order and float formatting (6 decimals)
     /// are fixed, so the output is golden-testable.  Equivalent to
-    /// [`to_json_with_query_violations`](Self::to_json_with_query_violations)
-    /// with no read-side verdicts.
+    /// [`to_json_with_violations`](Self::to_json_with_violations) with
+    /// no read-side or incremental verdicts.
     pub fn to_json(&self) -> String {
-        self.to_json_with_query_violations(&[])
+        self.to_json_with_violations(&[], &[])
     }
 
     /// [`to_json`](Self::to_json) with the read side's verdicts folded
-    /// in: the query-conformance check ([`crate::query_violations`]) is
-    /// judged out of band of the pipeline verdicts, but a machine-read
-    /// report must not look clean while the run exits 3 — the trailing
-    /// `query_violations` array records what the serving layer failed.
+    /// in; see [`to_json_with_violations`](Self::to_json_with_violations).
     pub fn to_json_with_query_violations(&self, query_violations: &[String]) -> String {
+        self.to_json_with_violations(query_violations, &[])
+    }
+
+    /// [`to_json`](Self::to_json) with the out-of-band verdicts folded
+    /// in: the query-conformance check ([`crate::query_violations`]) and
+    /// the incremental-publish check ([`crate::incremental_violations`])
+    /// are judged out of band of the pipeline verdicts, but a
+    /// machine-read report must not look clean while the run exits 3 —
+    /// the trailing `query_violations` and `incremental_violations`
+    /// arrays record what the serving layer or the incremental engine
+    /// failed.
+    pub fn to_json_with_violations(
+        &self,
+        query_violations: &[String],
+        incremental_violations: &[String],
+    ) -> String {
         let mut s = String::with_capacity(1 << 14);
         s.push_str("{\n");
         s.push_str(&format!(
@@ -220,15 +233,9 @@ impl ConformanceReport {
             ));
         }
         s.push_str("  ],\n  \"query_violations\": [");
-        for (i, v) in query_violations.iter().enumerate() {
-            if i > 0 {
-                s.push_str(", ");
-            }
-            s.push_str(&format!(
-                "\"{}\"",
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            ));
-        }
+        push_string_array(&mut s, query_violations);
+        s.push_str("],\n  \"incremental_violations\": [");
+        push_string_array(&mut s, incremental_violations);
         s.push_str("]\n}\n");
         s
     }
@@ -267,6 +274,19 @@ impl ConformanceReport {
             }
         }
         s
+    }
+}
+
+/// Appends the comma-separated, escaped body of a JSON string array.
+fn push_string_array(s: &mut String, items: &[String]) {
+    for (i, v) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
     }
 }
 
@@ -323,11 +343,17 @@ mod tests {
         assert!(json.contains("\"pipeline\": \"offline/charikar\""));
         assert!(json.contains("\"within_bound\": "));
         assert!(json.contains("\"query_violations\": []"));
-        // Read-side verdicts fold into the machine-readable report (so a
-        // failing run never writes a clean-looking JSON), escaped safely.
-        let with_viols = report
-            .to_json_with_query_violations(&[r#"x / query/assign: "bad" answer"#.to_string()]);
+        assert!(json.contains("\"incremental_violations\": []"));
+        // Out-of-band verdicts fold into the machine-readable report (so
+        // a failing run never writes a clean-looking JSON), escaped
+        // safely.
+        let with_viols = report.to_json_with_violations(
+            &[r#"x / query/assign: "bad" answer"#.to_string()],
+            &["y / incremental/publish: diverged".to_string()],
+        );
         assert!(with_viols.contains(r#""query_violations": ["x / query/assign: \"bad\" answer"]"#));
+        assert!(with_viols
+            .contains(r#""incremental_violations": ["y / incremental/publish: diverged"]"#));
         assert_eq!(json.matches("\"name\": ").count(), 1);
         // Balanced braces/brackets (a cheap structural check without a
         // JSON parser in the dependency set).

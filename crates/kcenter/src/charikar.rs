@@ -34,6 +34,14 @@ pub struct GreedyParams {
     pub geometric_step: f64,
     /// Precompute the full distance matrix when `n` is at most this.
     pub matrix_max_n: usize,
+    /// Warm-start hint: a previous solve's feasible guess `r̂` on nearby
+    /// data.  The radius search starts at this value and brackets
+    /// outwards instead of bisecting the whole candidate range — under
+    /// the same monotone-feasibility assumption the cold bisection makes,
+    /// the result is the identical minimal feasible candidate, found in
+    /// ~2 feasibility probes when the hint is still (nearly) right.
+    /// `None` bisects cold.
+    pub warm_guess: Option<f64>,
 }
 
 impl Default for GreedyParams {
@@ -42,6 +50,18 @@ impl Default for GreedyParams {
             exact_candidates_max_n: 600,
             geometric_step: 1.01,
             matrix_max_n: 1500,
+            warm_guess: None,
+        }
+    }
+}
+
+impl GreedyParams {
+    /// Default parameters with a warm-start hint (see
+    /// [`GreedyParams::warm_guess`]).
+    pub fn warm(guess: f64) -> Self {
+        GreedyParams {
+            warm_guess: Some(guess),
+            ..Default::default()
         }
     }
 }
@@ -58,6 +78,10 @@ pub struct GreedySolution<P> {
     pub guess: f64,
     /// Uncovered weight of the returned solution (≤ `z`).
     pub uncovered: u64,
+    /// Feasibility probes ([`disk_greedy`] calls) the radius search
+    /// spent — the observable a warm start shrinks (the result itself is
+    /// hint-independent).
+    pub probes: usize,
 }
 
 /// `Greedy(P, k, z)` with default parameters.  See [`greedy_with`].
@@ -89,6 +113,7 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
             radius: 0.0,
             guess: 0.0,
             uncovered: total,
+            probes: 0,
         };
     }
     assert!(k > 0, "k must be positive when weight must be covered");
@@ -102,24 +127,15 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
 
     // Feasibility is monotone in r for the guarantee's purposes: the
     // largest candidate (≥ diameter) always succeeds with one center.
-    let mut lo = 0usize;
-    let mut hi = candidates.len() - 1;
-    let mut best: Option<(usize, Vec<usize>)> = None;
-    while lo <= hi {
-        let mid = lo + (hi - lo) / 2;
-        match disk_greedy(&oracle, &weights, k, z, candidates[mid]) {
-            Some(centers) => {
-                best = Some((mid, centers));
-                if mid == 0 {
-                    break;
-                }
-                hi = mid - 1;
-            }
-            None => {
-                lo = mid + 1;
-            }
-        }
-    }
+    let mut probes = 0usize;
+    let mut probe = |i: usize| {
+        probes += 1;
+        disk_greedy(&oracle, &weights, k, z, candidates[i])
+    };
+    let best = match params.warm_guess {
+        Some(g) => warm_search(&candidates, g, &mut probe),
+        None => lowest_feasible(0, candidates.len() - 1, &mut probe),
+    };
     let (idx, center_idx) = best.unwrap_or_else(|| {
         // The diameter guess must succeed; recompute defensively.
         let last = candidates.len() - 1;
@@ -141,6 +157,107 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
         radius,
         guess,
         uncovered,
+        probes,
+    }
+}
+
+/// Binary search for the lowest feasible candidate index in `[lo, hi]`,
+/// assuming feasibility is monotone in the candidate radius.  Returns
+/// the index and its centers, or `None` when every probed candidate in
+/// the range is infeasible.
+fn lowest_feasible(
+    lo: usize,
+    hi: usize,
+    probe: &mut impl FnMut(usize) -> Option<Vec<usize>>,
+) -> Option<(usize, Vec<usize>)> {
+    let (mut lo, mut hi) = (lo, hi);
+    let mut best: Option<(usize, Vec<usize>)> = None;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        match probe(mid) {
+            Some(centers) => {
+                best = Some((mid, centers));
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            }
+            None => {
+                lo = mid + 1;
+            }
+        }
+    }
+    best
+}
+
+/// The warm-started radius search: start at the candidate nearest the
+/// hint and bracket outwards.  Under the monotone-feasibility assumption
+/// this finds the same minimal feasible index as the cold bisection —
+/// but when the hint is still right (the common republish-after-small-
+/// change case) it costs 2 probes instead of `log₂ |candidates|`.
+fn warm_search(
+    candidates: &[f64],
+    guess: f64,
+    probe: &mut impl FnMut(usize) -> Option<Vec<usize>>,
+) -> Option<(usize, Vec<usize>)> {
+    let last = candidates.len() - 1;
+    let start = candidates.partition_point(|&c| c < guess).min(last);
+    match probe(start) {
+        Some(centers) => {
+            // Feasible at the hint: gallop downwards doubling the step
+            // until an infeasible candidate brackets the boundary from
+            // below, then bisect the (exponentially small) bracket.  An
+            // exact hint exits after the first downward probe.
+            let mut lowest = (start, centers);
+            if start == 0 {
+                return Some(lowest);
+            }
+            let mut step = 1usize;
+            loop {
+                let j = lowest.0.saturating_sub(step);
+                match probe(j) {
+                    Some(below) => {
+                        lowest = (j, below);
+                        if j == 0 {
+                            return Some(lowest);
+                        }
+                        step = step.saturating_mul(2);
+                    }
+                    None => {
+                        if j + 1 == lowest.0 {
+                            return Some(lowest);
+                        }
+                        return Some(lowest_feasible(j + 1, lowest.0 - 1, probe).unwrap_or(lowest));
+                    }
+                }
+            }
+        }
+        None => {
+            // Infeasible at the hint: gallop upwards doubling the step,
+            // then bisect the bracket between the highest infeasible and
+            // the first feasible probe.
+            let mut step = 1usize;
+            let mut highest_infeasible = start;
+            loop {
+                let j = highest_infeasible.saturating_add(step).min(last);
+                match probe(j) {
+                    Some(centers) => {
+                        if j == highest_infeasible + 1 {
+                            return Some((j, centers));
+                        }
+                        return Some(
+                            lowest_feasible(highest_infeasible + 1, j - 1, probe)
+                                .unwrap_or((j, centers)),
+                        );
+                    }
+                    None if j >= last => return None,
+                    None => {
+                        highest_infeasible = j;
+                        step *= 2;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -429,6 +546,125 @@ mod tests {
         // opt = 0.5 with centers anywhere, 1.0 with centers in P.
         assert!(sol.radius <= 3.0, "radius {}", sol.radius);
         assert!(sol.uncovered <= 1);
+    }
+
+    /// Exhaustive feasibility sweep over the exact candidate set: returns
+    /// `Some(boundary)` when feasibility is genuinely monotone (a prefix
+    /// of infeasible candidates followed by a feasible suffix), `None`
+    /// when the instance has feasible "pockets".  Warm and cold searches
+    /// are guaranteed to agree exactly on the monotone instances — the
+    /// same assumption the cold bisection itself already leans on.
+    fn monotone_boundary(pts: &[Weighted<[f64; 2]>], k: usize, z: u64) -> Option<usize> {
+        let weights: Vec<u64> = pts.iter().map(|p| p.weight).collect();
+        let raw: Vec<[f64; 2]> = pts.iter().map(|p| p.point).collect();
+        let oracle = DistOracle::new(&L2, &raw, true);
+        let candidates = candidate_radii(&oracle, &GreedyParams::default());
+        let feas: Vec<bool> = (0..candidates.len())
+            .map(|i| disk_greedy(&oracle, &weights, k, z, candidates[i]).is_some())
+            .collect();
+        let boundary = feas.iter().position(|&f| f)?;
+        feas[boundary..].iter().all(|&f| f).then_some(boundary)
+    }
+
+    #[test]
+    fn warm_start_matches_cold_on_monotone_instances_for_any_hint() {
+        // On an instance whose feasibility really is monotone in the
+        // radius (verified exhaustively, not assumed), the hint only
+        // changes the probe order: centers, radius, guess and uncovered
+        // weight must be bit-identical to the cold search for hints
+        // anywhere in, below or above the candidate range.
+        let pts = instance();
+        let mut monotone_cases = 0;
+        for (k, z) in [(2usize, 2u64), (2, 0), (3, 1), (1, 21)] {
+            let Some(_) = monotone_boundary(&pts, k, z) else {
+                continue;
+            };
+            monotone_cases += 1;
+            let cold = greedy(&L2, &pts, k, z);
+            for hint in [
+                0.0,
+                1e-9,
+                cold.guess * 0.5,
+                cold.guess,
+                cold.guess * 1.5,
+                2000.0,
+                1e12,
+            ] {
+                let warm = greedy_with(&L2, &pts, k, z, &GreedyParams::warm(hint));
+                assert_eq!(warm.centers, cold.centers, "k={k} z={z} hint={hint}");
+                assert_eq!(warm.radius.to_bits(), cold.radius.to_bits());
+                assert_eq!(warm.guess.to_bits(), cold.guess.to_bits());
+                assert_eq!(warm.uncovered, cold.uncovered);
+            }
+        }
+        assert!(monotone_cases >= 2, "sweep found too few monotone cases");
+    }
+
+    #[test]
+    fn warm_start_always_settles_on_a_certified_boundary() {
+        // Even on non-monotone instances (feasible pockets at small
+        // radii), any warm result is a feasibility *boundary* — feasible
+        // at the settled guess with an infeasible predecessor — which is
+        // exactly what certifies `guess ≤ opt` and thus the 3-approx
+        // (any radius ≥ opt is feasible, so an infeasible predecessor
+        // lies below opt, and opt itself is among the candidates).
+        let pts = instance();
+        for (k, z) in [(2usize, 2u64), (2, 0), (3, 1)] {
+            let cold = greedy(&L2, &pts, k, z);
+            for hint in [0.0, cold.guess * 0.3, cold.guess, cold.guess * 3.0, 1e9] {
+                let warm = greedy_with(&L2, &pts, k, z, &GreedyParams::warm(hint));
+                assert!(warm.uncovered <= z, "k={k} z={z} hint={hint}");
+                assert!(
+                    warm.radius <= 3.0 * warm.guess + 1e-9,
+                    "k={k} z={z} hint={hint}: radius {} vs guess {}",
+                    warm.radius,
+                    warm.guess
+                );
+                // Same certified upper bound as the cold solution.
+                assert!(warm.guess <= cold.guess + 1e-9 || warm.radius <= cold.radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_hint_costs_two_probes() {
+        let pts = instance();
+        let cold = greedy(&L2, &pts, 2, 2);
+        // The candidate set is quadratic in n, so the cold bisection pays
+        // a multi-probe bisection here.
+        assert!(cold.probes > 4, "cold probes = {}", cold.probes);
+        let warm = greedy_with(&L2, &pts, 2, 2, &GreedyParams::warm(cold.guess));
+        assert_eq!(warm.guess.to_bits(), cold.guess.to_bits());
+        assert_eq!(warm.probes, 2, "re-probe the hint and its predecessor");
+        // A slightly stale hint still brackets in O(log distance) probes,
+        // well under the cold bisection over the full candidate set.
+        let near = greedy_with(&L2, &pts, 2, 2, &GreedyParams::warm(cold.guess * 1.001));
+        assert_eq!(near.guess.to_bits(), cold.guess.to_bits());
+        assert!(near.probes <= 6, "near-hint probes = {}", near.probes);
+    }
+
+    #[test]
+    fn warm_start_on_the_geometric_grid_matches_cold() {
+        let pts = instance();
+        let geo = GreedyParams {
+            exact_candidates_max_n: 0,
+            matrix_max_n: 0,
+            ..Default::default()
+        };
+        let cold = greedy_with(&L2, &pts, 2, 2, &geo);
+        let warm = greedy_with(
+            &L2,
+            &pts,
+            2,
+            2,
+            &GreedyParams {
+                warm_guess: Some(cold.guess),
+                ..geo.clone()
+            },
+        );
+        assert_eq!(warm.centers, cold.centers);
+        assert_eq!(warm.radius.to_bits(), cold.radius.to_bits());
+        assert!(warm.probes <= 2);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! kcz stream  --input pts.csv --k 3 --z 10 --eps 0.5
 //! kcz mpc     --input pts.csv --k 3 --z 10 --eps 0.5 --machines 8 \
 //!             [--algorithm two_round|one_round|rround|baseline] [--rounds 3]
-//! kcz engine  --shards 4 --batch 256 --k 3 --z 10 --eps 0.5 [< pts.csv]
+//! kcz engine  --shards 4 --batch 256 --k 3 --z 10 --eps 0.5 \
+//!             [--incremental | --full-republish] [< pts.csv]
 //! kcz query   --input pts.csv --requests req.csv --shards 4 --batch 256 \
 //!             --k 3 --z 10 --eps 0.5
 //! kcz conformance [--tier smoke|full] [--json <path>]
@@ -20,14 +21,18 @@
 //! `engine` feeds the stream (stdin when `--input` is omitted) through
 //! the resident sharded engine in `--batch`-sized batches and prints the
 //! final snapshot — merged coreset size, per-shard peak words, the
-//! merge-composed ε′ and its certified `3 + 8ε′` bound factor.
+//! merge-composed ε′ and its certified `3 + 8ε′` bound factor.  With
+//! `--incremental` (dirty-shard re-merge + tree cache) or
+//! `--full-republish` (cold rebuild) it publishes after every batch;
+//! the two print byte-identical output.
 //! `query` ingests the stream the same way, publishes a snapshot, and
 //! answers the request file against it (`assign,x,y` / `classify,x,y,r`
 //! / `nearest,x,y,j` per line) — the read side of the same engine.
 //! `conformance` runs every pipeline over the shared scenario catalog,
-//! checks each radius against its paper ratio bound, and re-checks
-//! served query answers against brute force on the published snapshot
-//! (exit 3 on any violation).
+//! checks each radius against its paper ratio bound, re-checks served
+//! query answers against brute force on the published snapshot, and
+//! certifies mid-stream incremental publishes bit-for-bit against
+//! from-scratch replays (exit 3 on any violation).
 
 use kcenter_outliers::kcenter::charikar::GreedyParams;
 use kcenter_outliers::prelude::*;
@@ -54,7 +59,9 @@ const USAGE: &str = "usage:
   kcz mpc     --input <csv> --k <K> --z <Z> --eps <EPS> --machines <M>
               [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]
   kcz engine  --shards <N> --batch <B> --k <K> --z <Z> --eps <EPS>
-              [--input <csv>]   (reads stdin when --input is omitted)
+              [--incremental | --full-republish] [--input <csv>]
+              (reads stdin when --input is omitted; the republish flags
+               publish after every batch instead of once at end)
   kcz query   --input <csv> --requests <file> --shards <N> --batch <B>
               --k <K> --z <Z> --eps <EPS>
   kcz conformance [--tier smoke|full] [--json <path>]
@@ -160,8 +167,18 @@ fn run_conformance_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, Stri
         report.scenarios.len(),
         tq.elapsed()
     );
+    // The incremental engine is judged too: mid-stream publishes are
+    // certified bit-for-bit against from-scratch replays of the same
+    // prefixes.
+    let ti = std::time::Instant::now();
+    let incremental_viols = incremental_violations(tier);
+    eprintln!(
+        "incremental conformance: {} scenarios replayed in {:.1?}",
+        report.scenarios.len(),
+        ti.elapsed()
+    );
     if let Some(path) = flags.get("json") {
-        let body = report.to_json_with_query_violations(&query_viols);
+        let body = report.to_json_with_violations(&query_viols, &incremental_viols);
         if path == "-" {
             print!("{body}");
         } else {
@@ -170,6 +187,7 @@ fn run_conformance_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, Stri
     }
     let mut violations = report.violations();
     violations.extend(query_viols);
+    violations.extend(incremental_viols);
     if violations.is_empty() {
         Ok(ExitCode::SUCCESS)
     } else {
@@ -308,10 +326,28 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy + Send + Sync>(
             if batch == 0 {
                 return Err("--batch must be at least 1".into());
             }
+            // `--incremental` / `--full-republish` publish after every
+            // batch (a resident serving engine's cadence) with the tree
+            // cache kept or rebuilt respectively; stdout is byte-
+            // identical across the two — incremental re-merging is a
+            // pure optimization.  Without either flag the engine
+            // snapshots once at end of stream, as before.
+            let incremental = flags.contains_key("incremental");
+            let full = flags.contains_key("full-republish");
+            if incremental && full {
+                return Err("--incremental and --full-republish are mutually exclusive".into());
+            }
             let t0 = std::time::Instant::now();
-            let engine = Engine::new(metric, EngineConfig::new(shards, k, z, eps));
+            let mut cfg = EngineConfig::new(shards, k, z, eps);
+            if full {
+                cfg = cfg.full_republish();
+            }
+            let engine = Engine::new(metric, cfg);
             for chunk in points.chunks(batch) {
                 engine.ingest_weighted(chunk);
+                if incremental || full {
+                    let _ = engine.publish();
+                }
             }
             let snap = engine.snapshot();
             println!(
@@ -485,6 +521,9 @@ fn parse_requests(path: &str, body: &str) -> Result<Vec<Request>, String> {
     Ok(out)
 }
 
+/// Flags that take no value: presence is the value.
+const BOOL_FLAGS: &[&str] = &["incremental", "full-republish"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
@@ -492,6 +531,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("expected --flag, got `{a}`"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("missing value for --{name}"))?;

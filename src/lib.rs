@@ -67,8 +67,8 @@ pub mod prelude {
     };
     pub use kcz_engine::{Engine, EngineConfig, EngineStats, Snapshot};
     pub use kcz_harness::{
-        all_pipelines, catalog, query_violations, run_conformance, ConformanceReport, Pipeline,
-        Scenario, Tier, Verdict,
+        all_pipelines, catalog, incremental_violations, query_violations, run_conformance,
+        ConformanceReport, Pipeline, Scenario, Tier, Verdict,
     };
     pub use kcz_kcenter::{
         cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,

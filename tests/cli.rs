@@ -468,6 +468,86 @@ fn engine_golden_output_on_committed_fixture() {
 }
 
 #[test]
+fn engine_incremental_golden_and_mode_equality() {
+    // `--incremental` publishes after every batch through the dirty-
+    // shard re-merge + warm-solve path; `--full-republish` rebuilds
+    // cold each time.  Incremental re-merging is a pure optimization,
+    // so the two print byte-identical output — pinned against a
+    // committed golden (the same pair the CI `engine-smoke` step
+    // diffs).
+    use std::process::Stdio;
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_incremental_golden.txt"
+    );
+    let run = |mode: &str| {
+        let child = kcz()
+            .args([
+                "engine", "--shards", "8", "--batch", "4", "--k", "2", "--z", "1", "--eps", "0.5",
+                mode,
+            ])
+            .stdin(Stdio::from(std::fs::File::open(fixture).unwrap()))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("run kcz engine");
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "{mode}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let incremental = run("--incremental");
+    let expected = std::fs::read_to_string(golden).unwrap();
+    assert_eq!(
+        incremental, expected,
+        "incremental snapshot drifted from the committed golden \
+         (tests/fixtures/engine_incremental_golden.txt); regenerate it \
+         with `kcz engine --shards 8 --batch 4 --k 2 --z 1 --eps 0.5 \
+         --incremental < tests/fixtures/golden.csv` if the change is \
+         intentional"
+    );
+    // A publish per batch: the final epoch counts the batches.
+    assert!(incremental.contains("epoch=3"), "{incremental}");
+    let full = run("--full-republish");
+    assert_eq!(
+        incremental, full,
+        "--incremental and --full-republish must print byte-identical \
+         snapshots"
+    );
+    // The two flags together are contradictory: clean exit 2.
+    let out = kcz()
+        .args([
+            "engine",
+            "--input",
+            fixture,
+            "--shards",
+            "8",
+            "--batch",
+            "4",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--incremental",
+            "--full-republish",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn engine_sharding_reports_wider_eps_but_same_fixture_radius() {
     // One shard is exactly the single-stream insertion-only pipeline:
     // ε′ = ε, bound factor 3 + 8ε.  Eight shards pay ⌈log₂ 8⌉ = 3 merge
