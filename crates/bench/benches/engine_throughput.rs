@@ -21,7 +21,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kcz_engine::{Engine, EngineConfig};
-use kcz_metric::L2;
+use kcz_metric::{Precision, L2};
 use kcz_streaming::InsertionOnlyCoreset;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -79,35 +79,41 @@ fn arrivals(n: usize) -> Vec<[f64; 2]> {
 }
 
 /// Regression guard: once a representative exists for a site, inserting
-/// that site again (the absorb path: one `find_within_weighted` scan +
-/// a saturating weight bump + the words recount) must not allocate.
+/// that site again (the absorb path: one columnar find-within scan over
+/// the mirror + a saturating weight bump + the words recount) must not
+/// allocate — in either lane precision.  The warm-up misses build the
+/// mirror (lazily on the first insert, appended per miss), so the
+/// counted steady state touches only stack state.
 fn absorb_path_is_allocation_free(stream: &[[f64; 2]]) {
-    let mut alg = InsertionOnlyCoreset::new(L2, K, Z, EPS);
-    // Deterministic warm-up: one representative per site, so every
-    // stream arrival below lands on the absorb path.
-    for site in 0..SITES {
-        alg.insert(site_point(site));
+    for precision in [Precision::F64, Precision::F32] {
+        let mut alg = InsertionOnlyCoreset::with_precision(L2, K, Z, EPS, precision);
+        // Deterministic warm-up: one representative per site, so every
+        // stream arrival below lands on the absorb path.
+        for site in 0..SITES {
+            alg.insert(site_point(site));
+        }
+        let reps_before = alg.coreset().len();
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for p in &stream[..4 * SITES] {
+            alg.insert(*p);
+        }
+        let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            alg.coreset().len(),
+            reps_before,
+            "warm-up must have established every representative"
+        );
+        assert_eq!(
+            allocations, 0,
+            "absorb-path inserts ({precision}) allocated {allocations} times \
+             (the scan must borrow the mirror, not rebuild or clone it)"
+        );
+        println!(
+            "engine_throughput/absorb_alloc_regression[{precision}]: \
+             0 allocations over {} absorbs — ok",
+            4 * SITES
+        );
     }
-    let reps_before = alg.coreset().len();
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for p in &stream[..4 * SITES] {
-        alg.insert(*p);
-    }
-    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
-    assert_eq!(
-        alg.coreset().len(),
-        reps_before,
-        "warm-up must have established every representative"
-    );
-    assert_eq!(
-        allocations, 0,
-        "absorb-path inserts allocated {allocations} times (the query \
-         must borrow the representative array, not clone it)"
-    );
-    println!(
-        "engine_throughput/absorb_alloc_regression: 0 allocations over {} absorbs — ok",
-        4 * SITES
-    );
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -132,6 +138,20 @@ fn bench_engine(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("sharded", shards), &stream, |b, s| {
             b.iter(|| {
                 let engine = Engine::new(L2, EngineConfig::new(shards, K, Z, EPS));
+                for batch in s.chunks(4096) {
+                    engine.ingest(batch);
+                }
+                black_box(engine.snapshot().coreset.len())
+            });
+        });
+    }
+    // The f32 absorb mirror at the same shard counts: published points
+    // stay f64, only the absorb scan runs on f32 lanes.
+    for shards in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::new("sharded_f32", shards), &stream, |b, s| {
+            b.iter(|| {
+                let cfg = EngineConfig::new(shards, K, Z, EPS).with_precision(Precision::F32);
+                let engine = Engine::new(L2, cfg);
                 for batch in s.chunks(4096) {
                     engine.ingest(batch);
                 }

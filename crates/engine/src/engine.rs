@@ -28,7 +28,7 @@
 
 use kcz_coreset::{end_to_end_factor, tree_depth, MergeableSummary};
 use kcz_kcenter::{farthest_first, greedy_with, GreedyParams};
-use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
+use kcz_metric::{MetricSpace, Precision, SpaceUsage, Weighted};
 use kcz_streaming::InsertionOnlyCoreset;
 use kcz_workloads::{HashPartitioner, ShardKey};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -56,6 +56,13 @@ pub struct EngineConfig {
     /// merged-summary hint), so published snapshots are bit-identical
     /// across modes.
     pub incremental: bool,
+    /// Lane precision of the shard coresets' columnar absorb mirrors.
+    /// [`Precision::F64`] (the default) is bit-identical to the scalar
+    /// kernels; [`Precision::F32`] halves the absorb scan's memory
+    /// traffic and widens every shard's certified ε′ by
+    /// [`kcz_metric::F32_EPS_BUDGET`] (published points, weights and
+    /// radii stay f64 either way).
+    pub precision: Precision,
 }
 
 impl EngineConfig {
@@ -69,6 +76,7 @@ impl EngineConfig {
             eps,
             seed: 0x5EED_0E16,
             incremental: true,
+            precision: Precision::F64,
         }
     }
 
@@ -78,6 +86,13 @@ impl EngineConfig {
     /// incremental path is certified against.
     pub fn full_republish(mut self) -> Self {
         self.incremental = false;
+        self
+    }
+
+    /// Sets the shard coresets' absorb-mirror lane precision (see
+    /// [`EngineConfig::precision`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -151,6 +166,34 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Canonical 64-bit fingerprint of a merged summary: a splitmix-style
+/// mix over every representative's routing key and weight, the length,
+/// the radius bound and the certified ε′ — every merged bit the
+/// Charikar solve (and the snapshot's certified fields) consumes.  A
+/// pure function of those bits, so incremental and full-republish
+/// publishes of the same data fingerprint identically.  Never returns
+/// the `0` sentinel.
+fn fingerprint_summary<P, M>(s: &InsertionOnlyCoreset<P, M>) -> u64
+where
+    P: Clone + SpaceUsage + ShardKey,
+    M: MetricSpace<P>,
+{
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    };
+    for w in s.coreset() {
+        mix(w.point.shard_key());
+        mix(w.weight);
+    }
+    mix(s.coreset().len() as u64);
+    mix(s.radius_bound().to_bits());
+    mix(s.effective_eps().to_bits());
+    h | 1
+}
+
 fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(|e| e.into_inner())
 }
@@ -206,6 +249,17 @@ pub struct Engine<P, M: MetricSpace<P>> {
     /// solved at.  Readers (`latest`) clone the `Arc` under a brief read
     /// lock; only a publish of a *newer* epoch takes the write lock.
     published: RwLock<Option<(u64, Arc<Snapshot<P>>)>>,
+    /// Canonical fingerprint of the merged summary the cached snapshot
+    /// solved on (0 = none yet).  Written only with `publish_order`
+    /// held.  A publish whose freshly merged summary hashes to the same
+    /// fingerprint skips the Charikar solve: the solve is a
+    /// deterministic function of the merged bits, so its output is
+    /// already sitting in the cache.
+    published_fp: AtomicU64,
+    /// Charikar solves elided because the merged bits were unchanged
+    /// (e.g. every arrival since the last publish was absorbed into
+    /// weight-saturated representatives).
+    elisions: AtomicU64,
     /// Collapses a publish herd: when several threads race `publish` on
     /// the same new data version, one solves while the rest wait here
     /// and then take the refreshed cache — N concurrent refreshers cost
@@ -236,11 +290,12 @@ where
         assert!(cfg.k >= 1, "k must be at least 1");
         let shards = (0..cfg.shards)
             .map(|_| {
-                Mutex::new(InsertionOnlyCoreset::new(
+                Mutex::new(InsertionOnlyCoreset::with_precision(
                     metric.clone(),
                     cfg.k,
                     cfg.z,
                     cfg.eps,
+                    cfg.precision,
                 ))
             })
             .collect();
@@ -256,6 +311,8 @@ where
             solves: AtomicU64::new(0),
             merges: AtomicU64::new(0),
             published: RwLock::new(None),
+            published_fp: AtomicU64::new(0),
+            elisions: AtomicU64::new(0),
             publish_order: Mutex::new(()),
             tree_cache: Mutex::new(None),
             peak_merge_transient: AtomicUsize::new(0),
@@ -306,6 +363,16 @@ where
     /// re-merge.
     pub fn merges(&self) -> u64 {
         self.merges.load(Ordering::Relaxed)
+    }
+
+    /// Charikar solves elided because a publish's freshly merged summary
+    /// fingerprinted identically to the cached snapshot's (the data
+    /// version advanced but every arrival was absorbed without changing
+    /// the merged bits — e.g. weight-saturated representatives).  Each
+    /// elision still pays the merge phase, but not the solve, and burns
+    /// no epoch number.
+    pub fn elisions(&self) -> u64 {
+        self.elisions.load(Ordering::Relaxed)
     }
 
     /// Ingests one batch of unit-weight points: routes every point to its
@@ -567,6 +634,33 @@ where
             .fetch_max(merge_transient_words, Ordering::Relaxed);
         let merged = levels.last().and_then(|l| l.first()).expect("merged root");
 
+        // Solve elision: the solve below is a deterministic function of
+        // the merged bits (canonical warm hint), so when the freshly
+        // merged summary fingerprints identically to the one the cached
+        // snapshot solved on, that solution *is* this version's
+        // solution.  Re-key the cached snapshot to the new data version
+        // with fresh resource accounting — no Charikar solve, no epoch
+        // burned.  This fires when the version advanced but no arrival
+        // changed the merged bits (weight-saturated representatives).
+        let fp = fingerprint_summary(merged);
+        if self.published_fp.load(Ordering::Relaxed) == fp {
+            if let Some((_, prior)) = &*read_recover(&self.published) {
+                self.elisions.fetch_add(1, Ordering::Relaxed);
+                let mut snap = (**prior).clone();
+                snap.stats.points = self.points.load(Ordering::Relaxed);
+                snap.stats.batches = self.batches.load(Ordering::Relaxed);
+                snap.stats.shard_peak_words = shard_peak_words;
+                snap.stats.merge_transient_words = merge_transient_words;
+                if self.cfg.incremental {
+                    *lock_recover(&self.tree_cache) = Some(TreeCache {
+                        leaf_versions: stamps,
+                        levels,
+                    });
+                }
+                return (version, snap);
+            }
+        }
+
         // Phase 3: solve on the merged summary, warm-started from a
         // *canonical* hint — the Gonzalez (k+z)-center radius of the
         // merged coreset.  The hint is a pure function of the merged
@@ -628,6 +722,7 @@ where
                 levels,
             });
         }
+        self.published_fp.store(fp, Ordering::Relaxed);
         (version, snap)
     }
 
@@ -852,6 +947,41 @@ mod tests {
             .find(|w| w.point == [100.0, 100.0])
             .expect("hot site survives");
         assert_eq!(hot.weight, 90);
+    }
+
+    #[test]
+    fn saturated_absorbs_elide_the_solve_and_burn_no_epoch() {
+        // A weight-saturated representative absorbs further co-located
+        // arrivals without changing any merged bit: the data version
+        // advances (the cached-Arc fast path misses) but the merged
+        // summary fingerprints identically, so publish re-keys the
+        // cached solution instead of re-running Charikar.
+        let engine = Engine::new(L2, EngineConfig::new(2, 1, 0, 0.5));
+        engine.ingest_weighted(&[Weighted::new([1.0, 1.0], u64::MAX)]);
+        let a = engine.publish();
+        assert_eq!((engine.solves(), engine.elisions()), (1, 0));
+        engine.ingest(&[[1.0, 1.0]]);
+        assert!(engine.version() > 1, "version must advance");
+        let b = engine.publish();
+        assert_eq!(
+            engine.solves(),
+            1,
+            "unchanged merged bits must not re-solve"
+        );
+        assert_eq!(engine.elisions(), 1);
+        assert_eq!(b.epoch, a.epoch, "no epoch burned on an elided solve");
+        assert_eq!(b.centers, a.centers);
+        assert_eq!(b.radius.to_bits(), a.radius.to_bits());
+        assert_eq!(b.stats.batches, a.stats.batches + 1, "fresh accounting");
+        // The re-keyed snapshot is now current: the next publish takes
+        // the wait-free cached-Arc path, and changed bits still solve.
+        let c = engine.publish();
+        assert_eq!((engine.solves(), engine.elisions()), (1, 1));
+        assert_eq!(c.epoch, a.epoch);
+        engine.ingest(&[[500.0, -3.0]]);
+        let d = engine.publish();
+        assert_eq!(d.epoch, a.epoch + 1);
+        assert_eq!((engine.solves(), engine.elisions()), (2, 1));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! [`incremental_violations`] replays each scenario with mid-stream
 //! publishes and certifies every checked epoch bit-for-bit against a
 //! from-scratch engine fed the same prefix — see [`incremental`].
+//! The opt-in columnar f32 storage mode is certified empirically:
+//! [`f32_violations`] replays each scenario through an f32 engine and
+//! re-measures every published radius in f64 against the
+//! budget-widened `(3 + 8ε′)·opt` — see [`f32cert`].
 //!
 //! The facade exposes this as `kcz conformance [--tier smoke|full]
 //! [--json <path>]`; CI runs the smoke tier on every push and fails on
@@ -28,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod f32cert;
 pub mod incremental;
 pub mod pipeline;
 pub mod query;
 pub mod report;
 pub mod scenario;
 
+pub use f32cert::f32_violations;
 pub use incremental::incremental_violations;
 pub use pipeline::{all_pipelines, Model, Pipeline, RadiusBound, Verdict};
 pub use query::query_violations;

@@ -148,13 +148,15 @@ impl ConformanceReport {
     }
 
     /// [`to_json`](Self::to_json) with the out-of-band verdicts folded
-    /// in: the query-conformance check ([`crate::query_violations`]) and
-    /// the incremental-publish check ([`crate::incremental_violations`])
-    /// are judged out of band of the pipeline verdicts, but a
-    /// machine-read report must not look clean while the run exits 3 —
-    /// the trailing `query_violations` and `incremental_violations`
-    /// arrays record what the serving layer or the incremental engine
-    /// failed.
+    /// in: the query-conformance check ([`crate::query_violations`]),
+    /// the incremental-publish check ([`crate::incremental_violations`]),
+    /// and the f32 storage-mode check ([`crate::f32_violations`], whose
+    /// entries are tagged `f32/…` and ride the incremental array so the
+    /// report schema stays stable) are judged out of band of the
+    /// pipeline verdicts, but a machine-read report must not look clean
+    /// while the run exits 3 — the trailing `query_violations` and
+    /// `incremental_violations` arrays record what the serving layer,
+    /// the incremental engine, or the f32 mode failed.
     pub fn to_json_with_violations(
         &self,
         query_violations: &[String],
@@ -346,14 +348,19 @@ mod tests {
         assert!(json.contains("\"incremental_violations\": []"));
         // Out-of-band verdicts fold into the machine-readable report (so
         // a failing run never writes a clean-looking JSON), escaped
-        // safely.
+        // safely.  f32-mode entries ride the incremental array under
+        // their `f32/` tag.
         let with_viols = report.to_json_with_violations(
             &[r#"x / query/assign: "bad" answer"#.to_string()],
-            &["y / incremental/publish: diverged".to_string()],
+            &[
+                "y / incremental/publish: diverged".to_string(),
+                "z / f32/bound: radius blew the budget".to_string(),
+            ],
         );
         assert!(with_viols.contains(r#""query_violations": ["x / query/assign: \"bad\" answer"]"#));
-        assert!(with_viols
-            .contains(r#""incremental_violations": ["y / incremental/publish: diverged"]"#));
+        assert!(with_viols.contains(
+            r#""incremental_violations": ["y / incremental/publish: diverged", "z / f32/bound: radius blew the budget"]"#
+        ));
         assert_eq!(json.matches("\"name\": ").count(), 1);
         // Balanced braces/brackets (a cheap structural check without a
         // JSON parser in the dependency set).

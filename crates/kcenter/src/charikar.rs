@@ -20,7 +20,7 @@
 //! matrix-free path answers ball queries with `cover_weight` /
 //! `within_indices` (deferred `sqrt`) instead of per-point `dist` calls.
 
-use kcz_metric::{MetricSpace, Weighted};
+use kcz_metric::{ColumnSet, MetricSpace, Precision, Weighted};
 
 use crate::cost::cost_with_outliers;
 
@@ -106,7 +106,7 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
     params: &GreedyParams,
 ) -> GreedySolution<P> {
     let n = points.len();
-    let total: u64 = points.iter().map(|p| p.weight).sum();
+    let total: u64 = points.iter().fold(0u64, |a, p| a.saturating_add(p.weight));
     if total <= z || n == 0 {
         return GreedySolution {
             centers: Vec::new(),
@@ -273,6 +273,12 @@ struct DistOracle<'a, P, M> {
     metric: &'a M,
     pts: &'a [P],
     matrix: Option<Vec<f64>>,
+    /// Columnar transpose of `pts` for the matrix-free mode: ball queries
+    /// run the blocked SoA kernels (bit-identical to the AoS kernels in
+    /// f64, per the `columns.rs` equivalence suite) instead of the
+    /// strided AoS scans.  `None` in matrix mode or when the metric has
+    /// no columnar kernels.
+    cols: Option<ColumnSet>,
 }
 
 impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
@@ -287,10 +293,16 @@ impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
             }
             m
         });
+        let cols = if matrix.is_none() {
+            metric.build_columns(pts, Precision::F64)
+        } else {
+            None
+        };
         DistOracle {
             metric,
             pts,
             matrix,
+            cols,
         }
     }
 
@@ -301,12 +313,16 @@ impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
     /// Distances from point `i` to every point, as a slice (matrix row or
     /// freshly computed into `scratch`).
     fn row<'b>(&'b self, i: usize, scratch: &'b mut Vec<f64>) -> &'b [f64] {
-        match &self.matrix {
-            Some(m) => {
+        match (&self.matrix, &self.cols) {
+            (Some(m), _) => {
                 let n = self.pts.len();
                 &m[i * n..(i + 1) * n]
             }
-            None => {
+            (None, Some(cols)) => {
+                self.metric.col_dist_many(cols, &self.pts[i], scratch);
+                scratch
+            }
+            (None, None) => {
                 self.metric.dist_many(&self.pts[i], self.pts, scratch);
                 scratch
             }
@@ -315,8 +331,8 @@ impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
 
     /// Total weight within distance `r` of point `i`.
     fn cover_weight(&self, i: usize, weights: &[u64], r: f64) -> u64 {
-        match &self.matrix {
-            Some(m) => {
+        match (&self.matrix, &self.cols) {
+            (Some(m), _) => {
                 let n = self.pts.len();
                 let row = &m[i * n..(i + 1) * n];
                 let mut total = 0u64;
@@ -327,14 +343,15 @@ impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
                 }
                 total
             }
-            None => self.metric.cover_weight(&self.pts[i], self.pts, weights, r),
+            (None, Some(cols)) => self.metric.col_cover_weight(cols, &self.pts[i], weights, r),
+            (None, None) => self.metric.cover_weight(&self.pts[i], self.pts, weights, r),
         }
     }
 
     /// Ascending indices of all points within distance `r` of point `i`.
     fn within_row(&self, i: usize, r: f64, out: &mut Vec<usize>) {
-        match &self.matrix {
-            Some(m) => {
+        match (&self.matrix, &self.cols) {
+            (Some(m), _) => {
                 let n = self.pts.len();
                 out.clear();
                 for (j, &d) in m[i * n..(i + 1) * n].iter().enumerate() {
@@ -343,7 +360,8 @@ impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
                     }
                 }
             }
-            None => self.metric.within_indices(&self.pts[i], self.pts, r, out),
+            (None, Some(cols)) => self.metric.col_within_indices(cols, &self.pts[i], r, out),
+            (None, None) => self.metric.within_indices(&self.pts[i], self.pts, r, out),
         }
     }
 }
@@ -423,7 +441,7 @@ fn disk_greedy<P, M: MetricSpace<P>>(
 ) -> Option<Vec<usize>> {
     let n = weights.len();
     let mut covered = vec![false; n];
-    let mut uncovered_total: u64 = weights.iter().sum();
+    let mut uncovered_total: u64 = weights.iter().fold(0u64, |a, &w| a.saturating_add(w));
     // gain[p] = uncovered weight within distance r of p.
     let mut gain: Vec<u64> = (0..n).map(|p| oracle.cover_weight(p, weights, r)).collect();
     let mut centers = Vec::with_capacity(k);

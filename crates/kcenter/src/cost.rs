@@ -46,7 +46,7 @@ pub fn cost_with_outliers<P, M: MetricSpace<P>>(
     if points.is_empty() {
         return 0.0;
     }
-    let total: u64 = points.iter().map(|p| p.weight).sum();
+    let total: u64 = points.iter().fold(0u64, |a, p| a.saturating_add(p.weight));
     if total <= z {
         return 0.0;
     }

@@ -48,7 +48,7 @@ pub fn exact_discrete<P: Clone, M: MetricSpace<P>>(
     z: u64,
     candidates: &[P],
 ) -> ExactSolution<P> {
-    let total: u64 = points.iter().map(|p| p.weight).sum();
+    let total: u64 = points.iter().fold(0u64, |a, p| a.saturating_add(p.weight));
     if total <= z || points.is_empty() {
         return ExactSolution {
             centers: Vec::new(),

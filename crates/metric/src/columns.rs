@@ -1,0 +1,787 @@
+//! Columnar (structure-of-arrays) point storage and cache-blocked
+//! one-to-many kernels.
+//!
+//! The batched kernels of [`crate::MetricSpace`] scan `&[P]`
+//! array-of-structs slices: every point's coordinates are contiguous, so
+//! the inner loop strides over interleaved lanes and the autovectorizer
+//! has to shuffle.  [`ColumnStore`] transposes the layout — one `Vec`
+//! *lane per coordinate* plus a parallel weight lane — so a one-to-many
+//! scan reads each lane sequentially and the compiler turns the blocked
+//! inner loops below into plain vector arithmetic on the stable
+//! toolchain (no `std::simd`).
+//!
+//! # Kernel contract
+//!
+//! The f64 kernels are **bit-identical** to the scalar AoS kernels of
+//! [`crate::MetricSpace`]:
+//!
+//! * squared distances accumulate per point in coordinate order, exactly
+//!   like `sq_l2`/`sq_grid` (the blocked loop keeps one accumulator per
+//!   point of the block; blocking never reorders a point's own sum);
+//! * the `sqrt` is deferred (distance-returning kernels) or skipped
+//!   (radius tests compare against `r²`), with the same negative/NaN
+//!   radius rejection, the same `r² → ∞` overflow fallback to scalar
+//!   distances, and the same smallest-index rule on *squared* ties;
+//! * the Chebyshev kernels keep the same running-max update (`if d > m`),
+//!   so NaN coordinate differences are skipped exactly as the scalar
+//!   `dist` skips them.
+//!
+//! The block width is 8 points: at d ≤ 8 a block touches at most
+//! 8 × 8 × 8 B = 512 B of lane data, so the n×k assign/cover shape streams
+//! through L1 one block per candidate without eviction, and 8 f64
+//! accumulators fill two 4-wide vector registers (one 8-wide for f32).
+//! Ragged tails (n not a multiple of 8) run the identical per-point
+//! scalar loop — same operations, same order, so bit-identity holds for
+//! every length.
+//!
+//! # The f32 storage mode
+//!
+//! [`Precision::F32`] stores each coordinate lane as `f32` (half the
+//! memory traffic, twice the vector width) and evaluates distance tests
+//! in f32.  This is an *approximate* mode: coordinates round to 24-bit
+//! significands, so a radius test can misclassify points within the
+//! rounding band of the threshold.  Consumers that accept points by
+//! radius (the streaming absorb sweep) must widen their error budget by
+//! [`F32_EPS_BUDGET`] — a point accepted at f32 distance ≤ r sits at true
+//! f64 distance ≤ r·(1 + F32_EPS_BUDGET) whenever coordinate magnitudes
+//! stay within the budget's headroom (relative rounding error per
+//! coordinate is 2⁻²⁴ ≈ 6·10⁻⁸; the budget leaves ≈ 4 decades for
+//! cancellation when coordinates are large relative to the tested
+//! radius).  The argument is certified *empirically*: the conformance
+//! harness re-measures every f32-mode radius in f64 and checks the
+//! paper's (3+8ε′)·opt bound, with ε′ widened by the same budget.
+
+use crate::space::SpaceUsage;
+use std::any::Any;
+
+/// Lane storage precision for a [`ColumnStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision lanes; kernels are bit-identical to the scalar AoS
+    /// kernels (the default everywhere).
+    #[default]
+    F64,
+    /// Half-width lanes; radius tests evaluate in f32 and consumers must
+    /// widen their error budget by [`F32_EPS_BUDGET`] (see module docs).
+    F32,
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "f64" => Ok(Precision::F64),
+            "f32" => Ok(Precision::F32),
+            other => Err(format!("unknown precision '{other}' (expected f64 or f32)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        })
+    }
+}
+
+/// Relative error budget consumers of the f32 storage mode must fold
+/// into their radius slack: a point accepted by an f32 radius test at
+/// threshold `r` lies at true f64 distance ≤ `r · (1 + F32_EPS_BUDGET)`
+/// within the budget's conditioning headroom (see the module docs; the
+/// bound is certified empirically by the conformance harness).
+pub const F32_EPS_BUDGET: f64 = 1e-3;
+
+/// Block width of the cache-blocked kernels (points per inner block).
+const B: usize = 8;
+
+/// Lane element: the arithmetic surface the blocked kernels need,
+/// implemented for `f64` (exact mode) and `f32` (reduced-precision mode).
+trait Elem: Copy + PartialOrd + Send + Sync + 'static {
+    const ZERO: Self;
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn sub(self, o: Self) -> Self;
+    fn add(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn abs(self) -> Self;
+    fn is_nan(self) -> bool;
+    /// Squared-radius threshold in lane precision; negative/NaN radii
+    /// map to −∞ (match nothing), mirroring [`crate::MetricSpace`].
+    fn sq_threshold(r: f64) -> Self;
+    /// True when `r` is finite but its square overflows *lane* precision,
+    /// so the squared comparison can no longer separate radii and the
+    /// kernel must fall back to per-point square roots.
+    fn sq_overflows(r: f64) -> bool;
+}
+
+impl Elem for f64 {
+    const ZERO: Self = 0.0;
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        self - o
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        self.is_nan()
+    }
+    #[inline(always)]
+    fn sq_threshold(r: f64) -> Self {
+        if r >= 0.0 {
+            r * r
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+    #[inline(always)]
+    fn sq_overflows(r: f64) -> bool {
+        r.is_finite() && (r * r).is_infinite()
+    }
+}
+
+impl Elem for f32 {
+    const ZERO: Self = 0.0;
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        self - o
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline(always)]
+    fn is_nan(self) -> bool {
+        self.is_nan()
+    }
+    #[inline(always)]
+    fn sq_threshold(r: f64) -> Self {
+        if r >= 0.0 {
+            let rf = r as f32;
+            rf * rf
+        } else {
+            f32::NEG_INFINITY
+        }
+    }
+    #[inline(always)]
+    fn sq_overflows(r: f64) -> bool {
+        if !r.is_finite() {
+            return false;
+        }
+        let rf = r as f32;
+        (rf * rf).is_infinite()
+    }
+}
+
+/// Per-precision coordinate lanes of a [`ColumnStore`].
+#[derive(Debug, Clone)]
+enum Lanes<const D: usize> {
+    F64([Vec<f64>; D]),
+    F32([Vec<f32>; D]),
+}
+
+/// Columnar point store: one coordinate lane per dimension plus a
+/// parallel weight lane (see the module docs for layout and contract).
+///
+/// Coordinates enter as `[f64; D]` regardless of storage mode (grid
+/// metrics convert their `u64` coordinates exactly, as the scalar
+/// kernels do); [`Precision::F32`] lanes round them on the way in.
+#[derive(Debug, Clone)]
+pub struct ColumnStore<const D: usize> {
+    lanes: Lanes<D>,
+    weights: Vec<u64>,
+    len: usize,
+}
+
+/// Converts a query point into lane precision once per kernel call.
+#[inline(always)]
+fn conv<T: Elem, const D: usize>(q: &[f64; D]) -> [T; D] {
+    std::array::from_fn(|i| T::from_f64(q[i]))
+}
+
+/// Squared distance of point `j` from `q`, accumulated in coordinate
+/// order exactly like the scalar `sq_l2`/`sq_grid`.
+#[inline(always)]
+fn sq_at<T: Elem, const D: usize>(lanes: &[Vec<T>; D], j: usize, q: &[T; D]) -> T {
+    let mut s = T::ZERO;
+    for i in 0..D {
+        let d = lanes[i][j].sub(q[i]);
+        s = s.add(d.mul(d));
+    }
+    s
+}
+
+/// Squared distances of the block of [`B`] points starting at `j`.  One
+/// accumulator per point, lanes visited in coordinate order — each
+/// point's sum is evaluated in exactly the scalar order.
+#[inline(always)]
+fn sq_block<T: Elem, const D: usize>(lanes: &[Vec<T>; D], j: usize, q: &[T; D]) -> [T; B] {
+    let mut acc = [T::ZERO; B];
+    for i in 0..D {
+        let lane = &lanes[i][j..j + B];
+        let qi = q[i];
+        for b in 0..B {
+            let d = lane[b].sub(qi);
+            acc[b] = acc[b].add(d.mul(d));
+        }
+    }
+    acc
+}
+
+/// Chebyshev distance of point `j` from `q`: running max with the same
+/// `if d > m` update as the scalar `d_linf`, skipping NaN differences.
+#[inline(always)]
+fn max_at<T: Elem, const D: usize>(lanes: &[Vec<T>; D], j: usize, q: &[T; D]) -> T {
+    let mut m = T::ZERO;
+    for i in 0..D {
+        let d = lanes[i][j].sub(q[i]).abs();
+        if d > m {
+            m = d;
+        }
+    }
+    m
+}
+
+/// Chebyshev distances of the block of [`B`] points starting at `j`.
+#[inline(always)]
+fn max_block<T: Elem, const D: usize>(lanes: &[Vec<T>; D], j: usize, q: &[T; D]) -> [T; B] {
+    let mut acc = [T::ZERO; B];
+    for i in 0..D {
+        let lane = &lanes[i][j..j + B];
+        let qi = q[i];
+        for b in 0..B {
+            let d = lane[b].sub(qi).abs();
+            if d > acc[b] {
+                acc[b] = d;
+            }
+        }
+    }
+    acc
+}
+
+/// The `nearest` update rule over lane-precision values; mirrors
+/// `nearer` in the crate root (NaN never beats a comparable value).
+#[inline(always)]
+fn nearer_t<T: Elem>(d: T, best: Option<(usize, T)>) -> bool {
+    match best {
+        None => true,
+        Some((_, b)) => d < b || (b.is_nan() && !d.is_nan()),
+    }
+}
+
+/// Walks every point: blocked distance evaluation with a per-point
+/// visitor, scalar tail.  `block`/`at` are the `sq_*` or `max_*` pair of
+/// a kernel family; `visit` sees `(index, value)` in ascending index
+/// order and returns `false` to stop early (block granularity).
+#[inline(always)]
+fn scan<T: Elem, const D: usize>(
+    lanes: &[Vec<T>; D],
+    n: usize,
+    q: &[T; D],
+    block: impl Fn(&[Vec<T>; D], usize, &[T; D]) -> [T; B],
+    at: impl Fn(&[Vec<T>; D], usize, &[T; D]) -> T,
+    mut visit: impl FnMut(usize, T) -> bool,
+) {
+    let mut j = 0;
+    while j + B <= n {
+        let acc = block(lanes, j, q);
+        for (b, &v) in acc.iter().enumerate() {
+            if !visit(j + b, v) {
+                return;
+            }
+        }
+        j += B;
+    }
+    while j < n {
+        if !visit(j, at(lanes, j, q)) {
+            return;
+        }
+        j += 1;
+    }
+}
+
+macro_rules! family_kernels {
+    ($dist_many:ident, $nearest:ident, $find_within:ident,
+     $count_within:ident, $within_indices:ident, $cover_weight:ident,
+     $argmax_cover_weight:ident, $block:ident, $at:ident, $finish:expr,
+     $within_scan:ident) => {
+        /// Distances from `q` to every stored point, written into `out`
+        /// (cleared first); equals the scalar kernel exactly in f64 mode.
+        pub fn $dist_many(&self, q: &[f64; D], out: &mut Vec<f64>) {
+            out.clear();
+            out.resize(self.len, 0.0);
+            match &self.lanes {
+                Lanes::F64(l) => {
+                    scan(l, self.len, &conv::<f64, D>(q), $block, $at, |j, v| {
+                        out[j] = v;
+                        true
+                    });
+                }
+                Lanes::F32(l) => {
+                    scan(l, self.len, &conv::<f32, D>(q), $block, $at, |j, v| {
+                        out[j] = v.to_f64();
+                        true
+                    });
+                }
+            }
+            let finish: fn(f64) -> f64 = $finish;
+            for v in out.iter_mut() {
+                *v = finish(*v);
+            }
+        }
+
+        /// Index and distance of the stored point nearest to `q`;
+        /// smallest index on (squared) ties, NaN distances skipped.
+        pub fn $nearest(&self, q: &[f64; D]) -> Option<(usize, f64)> {
+            fn run<T: Elem, const D: usize>(
+                lanes: &[Vec<T>; D],
+                n: usize,
+                q: &[T; D],
+                block: impl Fn(&[Vec<T>; D], usize, &[T; D]) -> [T; B],
+                at: impl Fn(&[Vec<T>; D], usize, &[T; D]) -> T,
+            ) -> Option<(usize, T)> {
+                let mut best: Option<(usize, T)> = None;
+                scan(lanes, n, q, block, at, |j, v| {
+                    if nearer_t(v, best) {
+                        best = Some((j, v));
+                    }
+                    true
+                });
+                best
+            }
+            let best =
+                match &self.lanes {
+                    Lanes::F64(l) => run(l, self.len, &conv::<f64, D>(q), $block, $at)
+                        .map(|(i, v)| (i, v.to_f64())),
+                    Lanes::F32(l) => run(l, self.len, &conv::<f32, D>(q), $block, $at)
+                        .map(|(i, v)| (i, v.to_f64())),
+                };
+            let finish: fn(f64) -> f64 = $finish;
+            best.map(|(i, v)| (i, finish(v)))
+        }
+
+        /// First stored index within distance `r` of `q`, or `None`.
+        pub fn $find_within(&self, q: &[f64; D], r: f64) -> Option<usize> {
+            let mut found = None;
+            self.$within_scan(q, r, |j| {
+                found = Some(j);
+                false
+            });
+            found
+        }
+
+        /// Number of stored points within distance `r` of `q`.
+        pub fn $count_within(&self, q: &[f64; D], r: f64) -> usize {
+            let mut n = 0usize;
+            self.$within_scan(q, r, |_| {
+                n += 1;
+                true
+            });
+            n
+        }
+
+        /// Ascending indices of the stored points within distance `r` of
+        /// `q`, written into `out` (cleared first).
+        pub fn $within_indices(&self, q: &[f64; D], r: f64, out: &mut Vec<usize>) {
+            out.clear();
+            self.$within_scan(q, r, |j| {
+                out.push(j);
+                true
+            });
+        }
+
+        /// Total (saturating) weight of the points within distance `r`
+        /// of `q`; `weights` must parallel the stored points.
+        pub fn $cover_weight(&self, q: &[f64; D], weights: &[u64], r: f64) -> u64 {
+            assert_eq!(self.len, weights.len(), "weights must parallel the store");
+            let mut total = 0u64;
+            self.$within_scan(q, r, |j| {
+                total = total.saturating_add(weights[j]);
+                true
+            });
+            total
+        }
+
+        /// Among the candidate queries, the index whose `r`-ball covers
+        /// the most stored weight (smallest index on ties), with that
+        /// weight; `None` on an empty candidate iterator.
+        pub fn $argmax_cover_weight(
+            &self,
+            candidates: impl Iterator<Item = [f64; D]>,
+            weights: &[u64],
+            r: f64,
+        ) -> Option<(usize, u64)> {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, c) in candidates.enumerate() {
+                let g = self.$cover_weight(&c, weights, r);
+                if best.is_none_or(|(_, b)| g > b) {
+                    best = Some((i, g));
+                }
+            }
+            best
+        }
+    };
+}
+
+macro_rules! within_scan {
+    ($name:ident, $block:ident, $at:ident, euclid) => {
+        /// Visits the ascending indices of the points within distance
+        /// `r` of `q`; the visitor returns `false` to stop early.
+        /// Shared radius-test core of the `find/count/indices/cover`
+        /// kernels: squared comparison, scalar-`sqrt` fallback when `r²`
+        /// overflows lane precision.
+        #[inline]
+        fn $name(&self, q: &[f64; D], r: f64, mut visit: impl FnMut(usize) -> bool) {
+            fn run<T: Elem, const D: usize>(
+                lanes: &[Vec<T>; D],
+                n: usize,
+                q: &[T; D],
+                r: f64,
+                mut visit: impl FnMut(usize) -> bool,
+            ) {
+                if T::sq_overflows(r) {
+                    // r² overflows lane precision: compare real square
+                    // roots like the scalar fallback does.
+                    scan(lanes, n, q, $block, $at, |j, v| {
+                        if v.to_f64().sqrt() <= r {
+                            return visit(j);
+                        }
+                        true
+                    });
+                    return;
+                }
+                let r2 = T::sq_threshold(r);
+                scan(lanes, n, q, $block, $at, |j, v| {
+                    if v <= r2 {
+                        return visit(j);
+                    }
+                    true
+                });
+            }
+            match &self.lanes {
+                Lanes::F64(l) => run(l, self.len, &conv::<f64, D>(q), r, &mut visit),
+                Lanes::F32(l) => run(l, self.len, &conv::<f32, D>(q), r, &mut visit),
+            }
+        }
+    };
+    ($name:ident, $block:ident, $at:ident, cheby) => {
+        /// Visits the ascending indices of the points within Chebyshev
+        /// distance `r` of `q`; the visitor returns `false` to stop
+        /// early.  Negative/NaN radii match nothing, NaN coordinate
+        /// differences are skipped, both exactly as the scalar test.
+        #[inline]
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // must reject NaN radii
+        fn $name(&self, q: &[f64; D], r: f64, mut visit: impl FnMut(usize) -> bool) {
+            if !(r >= 0.0) {
+                return;
+            }
+            fn run<T: Elem, const D: usize>(
+                lanes: &[Vec<T>; D],
+                n: usize,
+                q: &[T; D],
+                r: T,
+                mut visit: impl FnMut(usize) -> bool,
+            ) {
+                scan(lanes, n, q, $block, $at, |j, v| {
+                    if v <= r {
+                        return visit(j);
+                    }
+                    true
+                });
+            }
+            match &self.lanes {
+                Lanes::F64(l) => run(l, self.len, &conv::<f64, D>(q), r, &mut visit),
+                Lanes::F32(l) => run(
+                    l,
+                    self.len,
+                    &conv::<f32, D>(q),
+                    f32::from_f64(r),
+                    &mut visit,
+                ),
+            }
+        }
+    };
+}
+
+impl<const D: usize> ColumnStore<D> {
+    /// Empty store with lanes in the given precision.
+    pub fn new(mode: Precision) -> Self {
+        let lanes = match mode {
+            Precision::F64 => Lanes::F64(std::array::from_fn(|_| Vec::new())),
+            Precision::F32 => Lanes::F32(std::array::from_fn(|_| Vec::new())),
+        };
+        ColumnStore {
+            lanes,
+            weights: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds a store from `(coordinates, weight)` pairs.
+    pub fn from_points(mode: Precision, pts: impl Iterator<Item = ([f64; D], u64)>) -> Self {
+        let mut s = Self::new(mode);
+        let (lo, _) = pts.size_hint();
+        s.reserve(lo);
+        for (p, w) in pts {
+            s.push(&p, w);
+        }
+        s
+    }
+
+    /// Storage precision of the coordinate lanes.
+    pub fn precision(&self) -> Precision {
+        match &self.lanes {
+            Lanes::F64(_) => Precision::F64,
+            Lanes::F32(_) => Precision::F32,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The weight lane, parallel to the stored points.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Reserves capacity for `additional` more points in every lane.
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.lanes {
+            Lanes::F64(l) => l.iter_mut().for_each(|v| v.reserve(additional)),
+            Lanes::F32(l) => l.iter_mut().for_each(|v| v.reserve(additional)),
+        }
+        self.weights.reserve(additional);
+    }
+
+    /// Appends a point (f32 lanes round the coordinates on the way in).
+    pub fn push(&mut self, p: &[f64; D], w: u64) {
+        match &mut self.lanes {
+            Lanes::F64(l) => {
+                for (i, lane) in l.iter_mut().enumerate() {
+                    lane.push(p[i]);
+                }
+            }
+            Lanes::F32(l) => {
+                for (i, lane) in l.iter_mut().enumerate() {
+                    lane.push(p[i] as f32);
+                }
+            }
+        }
+        self.weights.push(w);
+        self.len += 1;
+    }
+
+    /// Removes point `i` by swapping the last point into its slot
+    /// (order-destroying O(D), like `Vec::swap_remove`).
+    pub fn swap_remove(&mut self, i: usize) {
+        assert!(i < self.len, "swap_remove index {i} out of bounds");
+        match &mut self.lanes {
+            Lanes::F64(l) => l.iter_mut().for_each(|v| {
+                v.swap_remove(i);
+            }),
+            Lanes::F32(l) => l.iter_mut().for_each(|v| {
+                v.swap_remove(i);
+            }),
+        }
+        self.weights.swap_remove(i);
+        self.len -= 1;
+    }
+
+    /// Clears every lane, keeping the allocations.
+    pub fn clear(&mut self) {
+        match &mut self.lanes {
+            Lanes::F64(l) => l.iter_mut().for_each(Vec::clear),
+            Lanes::F32(l) => l.iter_mut().for_each(Vec::clear),
+        }
+        self.weights.clear();
+        self.len = 0;
+    }
+
+    within_scan!(euclid_within_scan, sq_block, sq_at, euclid);
+    within_scan!(cheby_within_scan, max_block, max_at, cheby);
+
+    family_kernels!(
+        euclid_dist_many,
+        euclid_nearest,
+        euclid_find_within,
+        euclid_count_within,
+        euclid_within_indices,
+        euclid_cover_weight,
+        euclid_argmax_cover_weight,
+        sq_block,
+        sq_at,
+        f64::sqrt,
+        euclid_within_scan
+    );
+    family_kernels!(
+        cheby_dist_many,
+        cheby_nearest,
+        cheby_find_within,
+        cheby_count_within,
+        cheby_within_indices,
+        cheby_cover_weight,
+        cheby_argmax_cover_weight,
+        max_block,
+        max_at,
+        std::convert::identity,
+        cheby_within_scan
+    );
+}
+
+impl<const D: usize> SpaceUsage for ColumnStore<D> {
+    fn words(&self) -> usize {
+        let coord_words = match &self.lanes {
+            Lanes::F64(_) => D * self.len,
+            // Two f32 coordinates pack into one word.
+            Lanes::F32(_) => (D * self.len).div_ceil(2),
+        };
+        coord_words + self.weights.len() + 2 // + len and mode
+    }
+}
+
+/// Object-safe surface of a [`ColumnStore`] of any dimension, so
+/// consumers generic over the point type can hold one without naming
+/// `D` (see [`ColumnSet`]).
+trait AnyColumns: Send + Sync {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn len(&self) -> usize;
+    fn words(&self) -> usize;
+    fn precision(&self) -> Precision;
+    fn swap_remove(&mut self, i: usize);
+    fn clear(&mut self);
+}
+
+impl<const D: usize> AnyColumns for ColumnStore<D> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn words(&self) -> usize {
+        SpaceUsage::words(self)
+    }
+    fn precision(&self) -> Precision {
+        ColumnStore::precision(self)
+    }
+    fn swap_remove(&mut self, i: usize) {
+        ColumnStore::swap_remove(self, i)
+    }
+    fn clear(&mut self) {
+        ColumnStore::clear(self)
+    }
+}
+
+/// A type-erased [`ColumnStore`]: what [`crate::MetricSpace::build_columns`]
+/// hands to consumers that are generic over the point type.
+///
+/// Only the metric that built a `ColumnSet` can run kernels on it (the
+/// `col_*` methods downcast back to the concrete `ColumnStore<D>`);
+/// consumers treat it as an opaque scan accelerator and fall back to
+/// the AoS kernels when `build_columns` returns `None`.
+pub struct ColumnSet(Box<dyn AnyColumns>);
+
+impl ColumnSet {
+    /// Wraps a concrete store.
+    pub fn new<const D: usize>(store: ColumnStore<D>) -> Self {
+        ColumnSet(Box::new(store))
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.len() == 0
+    }
+
+    /// Storage precision of the underlying lanes.
+    pub fn precision(&self) -> Precision {
+        self.0.precision()
+    }
+
+    /// The concrete store, if the dimension matches.
+    pub fn store<const D: usize>(&self) -> Option<&ColumnStore<D>> {
+        self.0.as_any().downcast_ref()
+    }
+
+    /// Mutable access to the concrete store, if the dimension matches.
+    pub fn store_mut<const D: usize>(&mut self) -> Option<&mut ColumnStore<D>> {
+        self.0.as_any_mut().downcast_mut()
+    }
+
+    /// Removes point `i` by swapping the last point into its slot
+    /// (dimension-erased [`ColumnStore::swap_remove`]).
+    pub fn swap_remove(&mut self, i: usize) {
+        self.0.swap_remove(i);
+    }
+
+    /// Clears every lane, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+impl SpaceUsage for ColumnSet {
+    fn words(&self) -> usize {
+        self.0.words()
+    }
+}
+
+impl std::fmt::Debug for ColumnSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnSet")
+            .field("len", &self.len())
+            .field("precision", &self.precision())
+            .finish()
+    }
+}

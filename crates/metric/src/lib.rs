@@ -29,13 +29,15 @@
 
 #![warn(missing_docs)]
 
+pub mod columns;
 pub(crate) mod grid;
 pub mod index;
 pub mod space;
 pub mod stats;
 pub mod weighted;
 
-pub use index::{BruteForceIndex, GridBucketIndex, NeighborIndex};
+pub use columns::{ColumnSet, ColumnStore, Precision, F32_EPS_BUDGET};
+pub use index::{BruteForceIndex, ColumnIndex, GridBucketIndex, NeighborIndex};
 pub use space::SpaceUsage;
 pub use weighted::{total_weight, unit_weighted, Weighted};
 
@@ -98,8 +100,11 @@ pub trait MetricSpace<P>: Send + Sync {
     /// overrides batch the accumulation and apply the `sqrt` in a single
     /// pass at the end.
     fn dist_many(&self, q: &P, pts: &[P], out: &mut Vec<f64>) {
+        // `extend` over an exact-size iterator reserves once by itself;
+        // an explicit `reserve` here would re-check (and on some
+        // allocators re-touch) the header on every call of a steady
+        // state that reuses `out` at constant capacity.
         out.clear();
-        out.reserve(pts.len());
         out.extend(pts.iter().map(|p| self.dist(q, p)));
     }
 
@@ -195,8 +200,8 @@ pub trait MetricSpace<P>: Send + Sync {
     /// radius establishment in the streaming coreset) without cloning
     /// every point per call.
     fn dist_many_weighted(&self, q: &P, pts: &[Weighted<P>], out: &mut Vec<f64>) {
+        // No explicit `reserve`: see `dist_many`.
         out.clear();
-        out.reserve(pts.len());
         out.extend(pts.iter().map(|p| self.dist(q, &p.point)));
     }
 
@@ -211,6 +216,89 @@ pub trait MetricSpace<P>: Send + Sync {
             }
         }
         best
+    }
+
+    // ------------------------------------------------------------------
+    // Columnar kernels (see the `columns` module).
+    //
+    // A metric that supports structure-of-arrays scans overrides
+    // `build_columns`/`build_columns_weighted` to transpose a point
+    // slice into a [`ColumnSet`], and the `col_*` kernels to run on it.
+    // The defaults return `None` — consumers must treat a `None` as "no
+    // columnar support" and fall back to the AoS kernels above.  The
+    // `col_*` defaults panic: they are only reachable by handing a
+    // metric a `ColumnSet` it did not build, which is a caller bug.
+    //
+    // In [`Precision::F64`] mode the columnar kernels are bit-identical
+    // to the AoS kernels (same deferred-`sqrt` contract, same ties);
+    // [`Precision::F32`] mode is approximate — see [`F32_EPS_BUDGET`].
+    // ------------------------------------------------------------------
+
+    /// Transposes `pts` into a columnar store scanned by the `col_*`
+    /// kernels, or `None` when this metric has no columnar support
+    /// (the default).
+    fn build_columns(&self, _pts: &[P], _mode: Precision) -> Option<ColumnSet> {
+        None
+    }
+
+    /// [`build_columns`](Self::build_columns) over a weighted slice,
+    /// carrying the weights into the store's weight lane.
+    fn build_columns_weighted(&self, _pts: &[Weighted<P>], _mode: Precision) -> Option<ColumnSet> {
+        None
+    }
+
+    /// Appends one point (with weight) to a [`ColumnSet`] this metric
+    /// built — the incremental absorb-miss path.
+    fn col_push(&self, _cols: &mut ColumnSet, _p: &P, _w: u64) {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
+    }
+
+    /// [`dist_many`](Self::dist_many) over a [`ColumnSet`] this metric
+    /// built.
+    fn col_dist_many(&self, _cols: &ColumnSet, _q: &P, _out: &mut Vec<f64>) {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
+    }
+
+    /// [`nearest`](Self::nearest) over a [`ColumnSet`] this metric built.
+    fn col_nearest(&self, _cols: &ColumnSet, _q: &P) -> Option<(usize, f64)> {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
+    }
+
+    /// [`find_within`](Self::find_within) over a [`ColumnSet`] this
+    /// metric built.
+    fn col_find_within(&self, _cols: &ColumnSet, _q: &P, _r: f64) -> Option<usize> {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
+    }
+
+    /// [`count_within`](Self::count_within) over a [`ColumnSet`] this
+    /// metric built.
+    fn col_count_within(&self, _cols: &ColumnSet, _q: &P, _r: f64) -> usize {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
+    }
+
+    /// [`within_indices`](Self::within_indices) over a [`ColumnSet`]
+    /// this metric built.
+    fn col_within_indices(&self, _cols: &ColumnSet, _q: &P, _r: f64, _out: &mut Vec<usize>) {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
+    }
+
+    /// [`cover_weight`](Self::cover_weight) over a [`ColumnSet`] this
+    /// metric built; `weights` must parallel the stored points (pass
+    /// [`ColumnSet`]'s own weight lane or an external one).
+    fn col_cover_weight(&self, _cols: &ColumnSet, _q: &P, _weights: &[u64], _r: f64) -> u64 {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
+    }
+
+    /// [`argmax_cover_weight`](Self::argmax_cover_weight) with the
+    /// covered point set held in a [`ColumnSet`] this metric built.
+    fn col_argmax_cover_weight(
+        &self,
+        _candidates: &[P],
+        _cols: &ColumnSet,
+        _weights: &[u64],
+        _r: f64,
+    ) -> Option<(usize, u64)> {
+        panic!("metric has no columnar kernels (ColumnSet from a different metric?)");
     }
 }
 
@@ -393,6 +481,130 @@ macro_rules! euclidean_batch_kernels {
     };
 }
 
+/// Coordinates of a Euclidean point, as the columnar lanes store them.
+#[inline(always)]
+fn euclid_coords<const D: usize>(p: &[f64; D]) -> [f64; D] {
+    *p
+}
+
+/// Columnar-hook overrides shared by all four array metrics: transpose
+/// via `$coords` (identity for `[f64; D]`, exact `as f64` conversion for
+/// grid points — the same conversion the scalar kernels apply), then
+/// dispatch to the `$family` kernels of [`ColumnStore`].
+macro_rules! columnar_hooks {
+    ($pt:ty, $coords:path,
+     $dist_many:ident, $nearest:ident, $find_within:ident, $count_within:ident,
+     $within_indices:ident, $cover_weight:ident, $argmax_cover_weight:ident) => {
+        fn build_columns(&self, pts: &[$pt], mode: Precision) -> Option<ColumnSet> {
+            Some(ColumnSet::new(ColumnStore::<D>::from_points(
+                mode,
+                pts.iter().map(|p| ($coords(p), 1u64)),
+            )))
+        }
+
+        fn build_columns_weighted(
+            &self,
+            pts: &[Weighted<$pt>],
+            mode: Precision,
+        ) -> Option<ColumnSet> {
+            Some(ColumnSet::new(ColumnStore::<D>::from_points(
+                mode,
+                pts.iter().map(|p| ($coords(&p.point), p.weight)),
+            )))
+        }
+
+        fn col_push(&self, cols: &mut ColumnSet, p: &$pt, w: u64) {
+            cols.store_mut::<D>()
+                .expect("column dimension mismatch")
+                .push(&$coords(p), w)
+        }
+
+        fn col_dist_many(&self, cols: &ColumnSet, q: &$pt, out: &mut Vec<f64>) {
+            cols.store::<D>()
+                .expect("column dimension mismatch")
+                .$dist_many(&$coords(q), out)
+        }
+
+        fn col_nearest(&self, cols: &ColumnSet, q: &$pt) -> Option<(usize, f64)> {
+            cols.store::<D>()
+                .expect("column dimension mismatch")
+                .$nearest(&$coords(q))
+        }
+
+        fn col_find_within(&self, cols: &ColumnSet, q: &$pt, r: f64) -> Option<usize> {
+            cols.store::<D>()
+                .expect("column dimension mismatch")
+                .$find_within(&$coords(q), r)
+        }
+
+        fn col_count_within(&self, cols: &ColumnSet, q: &$pt, r: f64) -> usize {
+            cols.store::<D>()
+                .expect("column dimension mismatch")
+                .$count_within(&$coords(q), r)
+        }
+
+        fn col_within_indices(&self, cols: &ColumnSet, q: &$pt, r: f64, out: &mut Vec<usize>) {
+            cols.store::<D>()
+                .expect("column dimension mismatch")
+                .$within_indices(&$coords(q), r, out)
+        }
+
+        fn col_cover_weight(&self, cols: &ColumnSet, q: &$pt, weights: &[u64], r: f64) -> u64 {
+            cols.store::<D>()
+                .expect("column dimension mismatch")
+                .$cover_weight(&$coords(q), weights, r)
+        }
+
+        fn col_argmax_cover_weight(
+            &self,
+            candidates: &[$pt],
+            cols: &ColumnSet,
+            weights: &[u64],
+            r: f64,
+        ) -> Option<(usize, u64)> {
+            cols.store::<D>()
+                .expect("column dimension mismatch")
+                .$argmax_cover_weight(candidates.iter().map($coords), weights, r)
+        }
+    };
+}
+
+/// [`columnar_hooks!`] bound to the Euclidean (deferred-`sqrt`) kernel
+/// family of [`ColumnStore`].
+macro_rules! columnar_euclid_hooks {
+    ($pt:ty, $coords:path) => {
+        columnar_hooks!(
+            $pt,
+            $coords,
+            euclid_dist_many,
+            euclid_nearest,
+            euclid_find_within,
+            euclid_count_within,
+            euclid_within_indices,
+            euclid_cover_weight,
+            euclid_argmax_cover_weight
+        );
+    };
+}
+
+/// [`columnar_hooks!`] bound to the Chebyshev (running-max) kernel
+/// family of [`ColumnStore`].
+macro_rules! columnar_cheby_hooks {
+    ($pt:ty, $coords:path) => {
+        columnar_hooks!(
+            $pt,
+            $coords,
+            cheby_dist_many,
+            cheby_nearest,
+            cheby_find_within,
+            cheby_count_within,
+            cheby_within_indices,
+            cheby_cover_weight,
+            cheby_argmax_cover_weight
+        );
+    };
+}
+
 /// Euclidean (`L2`) metric over fixed-dimension points `[f64; D]`.
 ///
 /// The doubling dimension of `R^D` under `L2` is `Θ(D)`; we report `D`.
@@ -413,6 +625,7 @@ impl<const D: usize> MetricSpace<[f64; D]> for L2 {
     }
 
     euclidean_batch_kernels!([f64; D], sq_l2);
+    columnar_euclid_hooks!([f64; D], euclid_coords);
 }
 
 /// Chebyshev (`L∞`) metric over fixed-dimension points `[f64; D]`.
@@ -497,10 +710,12 @@ macro_rules! chebyshev_batch_kernels {
         }
 
         fn dist_many(&self, q: &$pt, pts: &[$pt], out: &mut Vec<f64>) {
+            // resize + indexed writes (not `reserve` + `push`): one
+            // allocation check up front instead of one per element.
             out.clear();
-            out.reserve(pts.len());
-            for p in pts {
-                out.push($dist(q, p));
+            out.resize(pts.len(), 0.0);
+            for (o, p) in out.iter_mut().zip(pts) {
+                *o = $dist(q, p);
             }
         }
 
@@ -521,6 +736,7 @@ impl<const D: usize> MetricSpace<[f64; D]> for Linf {
     }
 
     chebyshev_batch_kernels!([f64; D], d_linf, linf_within);
+    columnar_cheby_hooks!([f64; D], euclid_coords);
 }
 
 /// Euclidean metric over discrete grid points `[u64; D]` from `[Δ]^D`
@@ -541,6 +757,7 @@ impl<const D: usize> MetricSpace<[u64; D]> for GridL2 {
     }
 
     euclidean_batch_kernels!([u64; D], sq_grid);
+    columnar_euclid_hooks!([u64; D], grid_to_euclid);
 }
 
 /// `L∞` metric over discrete grid points `[u64; D]`.  Shares the
@@ -560,6 +777,7 @@ impl<const D: usize> MetricSpace<[u64; D]> for GridLinf {
     }
 
     chebyshev_batch_kernels!([u64; D], d_gridlinf, gridlinf_within);
+    columnar_cheby_hooks!([u64; D], grid_to_euclid);
 }
 
 /// One-dimensional Euclidean metric over bare `f64` values.

@@ -1,0 +1,311 @@
+//! Columnar-kernel equivalence: every `col_*` kernel must be
+//! **bit-identical** to its AoS counterpart in f64 mode, for all four
+//! array metrics, at d ∈ {2, 3, 4, 8}, on ragged lengths (the blocked
+//! loops run a scalar tail for n mod 8 ≠ 0), and at the contract's edge
+//! cases — squared-distance ties, negative/NaN radii, overflowing radii,
+//! NaN coordinates.  The f32 mode is checked separately for its
+//! approximate contract (classification agreement off the rounding
+//! band, error within [`F32_EPS_BUDGET`]).
+
+use kcz_metric::{
+    BruteForceIndex, ColumnIndex, GridL2, GridLinf, Linf, MetricSpace, NeighborIndex, Precision,
+    Weighted, L2,
+};
+use proptest::prelude::*;
+
+/// Asserts every columnar kernel of `metric` returns bit-identical
+/// results to the AoS kernel on one (query, point-set, radius) instance.
+fn check_columnar<P: Clone + std::fmt::Debug, M: MetricSpace<P>>(
+    metric: &M,
+    q: &P,
+    pts: &[P],
+    r: f64,
+) -> Result<(), TestCaseError> {
+    let cols = metric
+        .build_columns(pts, Precision::F64)
+        .expect("array metrics support columns");
+    prop_assert_eq!(cols.len(), pts.len());
+
+    // dist_many: identical bits, not just identical values.
+    let mut aos = Vec::new();
+    let mut col = Vec::new();
+    metric.dist_many(q, pts, &mut aos);
+    metric.col_dist_many(&cols, q, &mut col);
+    let aos_bits: Vec<u64> = aos.iter().map(|d| d.to_bits()).collect();
+    let col_bits: Vec<u64> = col.iter().map(|d| d.to_bits()).collect();
+    prop_assert_eq!(aos_bits, col_bits);
+
+    // nearest: same index (smallest on squared ties) and same bits.
+    let a = metric.nearest(q, pts);
+    let c = metric.col_nearest(&cols, q);
+    prop_assert_eq!(
+        a.map(|(i, d)| (i, d.to_bits())),
+        c.map(|(i, d)| (i, d.to_bits()))
+    );
+
+    // Radius-testing family.
+    prop_assert_eq!(
+        metric.find_within(q, pts, r),
+        metric.col_find_within(&cols, q, r)
+    );
+    prop_assert_eq!(
+        metric.count_within(q, pts, r),
+        metric.col_count_within(&cols, q, r)
+    );
+    let mut aos_idx = Vec::new();
+    let mut col_idx = Vec::new();
+    metric.within_indices(q, pts, r, &mut aos_idx);
+    metric.col_within_indices(&cols, q, r, &mut col_idx);
+    prop_assert_eq!(&aos_idx, &col_idx);
+
+    // Weighted cover kernels, including the greedy's argmax rule.
+    let weights: Vec<u64> = (0..pts.len()).map(|i| 1 + (i as u64 % 5)).collect();
+    prop_assert_eq!(
+        metric.cover_weight(q, pts, &weights, r),
+        metric.col_cover_weight(&cols, q, &weights, r)
+    );
+    prop_assert_eq!(
+        metric.argmax_cover_weight(pts, pts, &weights, r),
+        metric.col_argmax_cover_weight(pts, &cols, &weights, r)
+    );
+
+    // The weighted build carries the weight lane and scans identically.
+    let weighted: Vec<Weighted<P>> = pts
+        .iter()
+        .zip(&weights)
+        .map(|(p, &w)| Weighted::new(p.clone(), w))
+        .collect();
+    let wcols = metric
+        .build_columns_weighted(&weighted, Precision::F64)
+        .expect("array metrics support columns");
+    prop_assert_eq!(
+        metric.find_within_weighted(q, &weighted, r),
+        metric.col_find_within(&wcols, q, r)
+    );
+    Ok(())
+}
+
+/// `n·D` coordinates chunked into `[f64; D]` points: lengths land on
+/// every residue mod the block width, exercising the scalar tails.
+fn euclid_pts<const D: usize>(max_n: usize) -> impl Strategy<Value = Vec<[f64; D]>> {
+    prop::collection::vec(-100.0f64..100.0, 0..max_n * D).prop_map(|v| {
+        v.chunks_exact(D)
+            .map(|c| {
+                let mut p = [0.0; D];
+                p.copy_from_slice(c);
+                p
+            })
+            .collect()
+    })
+}
+
+fn grid_pts<const D: usize>(max_n: usize) -> impl Strategy<Value = Vec<[u64; D]>> {
+    prop::collection::vec(0u64..1000, 0..max_n * D).prop_map(|v| {
+        v.chunks_exact(D)
+            .map(|c| {
+                let mut p = [0u64; D];
+                p.copy_from_slice(c);
+                p
+            })
+            .collect()
+    })
+}
+
+macro_rules! columnar_agree_at_dim {
+    ($l2:ident, $linf:ident, $gl2:ident, $glinf:ident, $d:literal) => {
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: 16,
+                rng_seed: 0xC01_0_0000 + $d,
+                ..ProptestConfig::default()
+            })]
+
+            #[test]
+            fn $l2(pts in euclid_pts::<$d>(40), q in euclid_pts::<$d>(2),
+                   r in 0.0f64..250.0) {
+                let q = q.first().copied().unwrap_or([1.25; $d]);
+                check_columnar(&L2, &q, &pts, r)?;
+            }
+
+            #[test]
+            fn $linf(pts in euclid_pts::<$d>(40), q in euclid_pts::<$d>(2),
+                     r in 0.0f64..250.0) {
+                let q = q.first().copied().unwrap_or([1.25; $d]);
+                check_columnar(&Linf, &q, &pts, r)?;
+            }
+
+            #[test]
+            fn $gl2(pts in grid_pts::<$d>(40), q in grid_pts::<$d>(2),
+                    r in 0.0f64..1500.0) {
+                let q = q.first().copied().unwrap_or([7; $d]);
+                check_columnar(&GridL2, &q, &pts, r)?;
+            }
+
+            #[test]
+            fn $glinf(pts in grid_pts::<$d>(40), q in grid_pts::<$d>(2),
+                      r in 0.0f64..1500.0) {
+                let q = q.first().copied().unwrap_or([7; $d]);
+                check_columnar(&GridLinf, &q, &pts, r)?;
+            }
+        }
+    };
+}
+
+columnar_agree_at_dim!(
+    l2_agrees_d2,
+    linf_agrees_d2,
+    gridl2_agrees_d2,
+    gridlinf_agrees_d2,
+    2
+);
+columnar_agree_at_dim!(
+    l2_agrees_d3,
+    linf_agrees_d3,
+    gridl2_agrees_d3,
+    gridlinf_agrees_d3,
+    3
+);
+columnar_agree_at_dim!(
+    l2_agrees_d4,
+    linf_agrees_d4,
+    gridl2_agrees_d4,
+    gridlinf_agrees_d4,
+    4
+);
+columnar_agree_at_dim!(
+    l2_agrees_d8,
+    linf_agrees_d8,
+    gridl2_agrees_d8,
+    gridlinf_agrees_d8,
+    8
+);
+
+#[test]
+fn squared_ties_pick_smallest_index_in_both_paths() {
+    // [4,3] and [3,4] are equidistant from the origin with *exactly*
+    // representable squared distances: the tie must resolve to index 0
+    // on both paths, and the 3-4-5 radius tie must classify identically.
+    let q = [0.0, 0.0];
+    let pts = [[4.0, 3.0], [3.0, 4.0], [5.0, 0.0], [0.0, 0.0]];
+    for r in [5.0, 4.999999999999999, 0.0, -1.0, f64::NAN] {
+        check_columnar(&L2, &q, &pts, r).unwrap();
+    }
+    let cols = L2.build_columns(&pts, Precision::F64).unwrap();
+    assert_eq!(L2.col_nearest(&cols, &q), Some((3, 0.0)));
+    assert_eq!(L2.col_find_within(&cols, &q, 5.0), Some(0));
+    assert_eq!(L2.col_count_within(&cols, &q, 5.0), 4);
+}
+
+#[test]
+fn ragged_lengths_agree_for_every_tail() {
+    // One point per length 0..=20: every block/tail split of the
+    // 8-wide kernels, bits compared against the AoS scan.
+    for n in 0..=20usize {
+        let pts: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                let x = i as f64;
+                [x * 1.5 - 7.0, (x * x) % 13.0, -x / 3.0]
+            })
+            .collect();
+        let q = [0.25, -1.5, 2.0];
+        check_columnar(&L2, &q, &pts, 9.0).unwrap();
+        check_columnar(&Linf, &q, &pts, 9.0).unwrap();
+    }
+}
+
+#[test]
+fn overflowing_radius_falls_back_to_scalar_in_both_paths() {
+    let q = [0.0, 0.0];
+    let pts = [[1e150, 0.0], [3e200, 0.0]];
+    let r = 2e200; // r² overflows: squared compare would accept both
+    check_columnar(&L2, &q, &pts, r).unwrap();
+    let cols = L2.build_columns(&pts, Precision::F64).unwrap();
+    assert_eq!(L2.col_count_within(&cols, &q, r), 1);
+    assert_eq!(L2.col_find_within(&cols, &q, r), Some(0));
+}
+
+#[test]
+fn nan_coordinates_skipped_like_scalar() {
+    // inf − inf yields a NaN distance at index 0: `nearest` must fall
+    // through to the comparable entry, radius tests must not match it.
+    let q = [f64::INFINITY, 4.0];
+    let pts = [[f64::INFINITY, 0.0], [5.0, 5.0]];
+    check_columnar(&L2, &q, &pts, 100.0).unwrap();
+    check_columnar(&Linf, &q, &pts, 100.0).unwrap();
+    let cols = L2.build_columns(&pts, Precision::F64).unwrap();
+    assert_eq!(L2.col_nearest(&cols, &q).unwrap().0, 1);
+}
+
+#[test]
+fn f32_mode_classifies_away_from_the_rounding_band() {
+    // Comfortably separated points: f32 classification must agree with
+    // f64 when the margin dwarfs the f32 rounding error.
+    let pts: Vec<[f64; 2]> = (0..100)
+        .map(|i| [(i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0])
+        .collect();
+    let cols32 = L2.build_columns(&pts, Precision::F32).unwrap();
+    assert_eq!(cols32.precision(), Precision::F32);
+    let q = [35.0, 45.0];
+    for r in [4.0, 12.5, 25.0] {
+        assert_eq!(
+            L2.col_count_within(&cols32, &q, r),
+            L2.count_within(&q, &pts, r),
+            "radius {r}"
+        );
+    }
+    // Distances agree to f32 relative accuracy.
+    let mut d64 = Vec::new();
+    let mut d32 = Vec::new();
+    L2.dist_many(&q, &pts, &mut d64);
+    L2.col_dist_many(&cols32, &q, &mut d32);
+    for (a, b) in d64.iter().zip(&d32) {
+        assert!((a - b).abs() <= 1e-3 * a.max(1.0), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn column_index_matches_brute_force() {
+    let pts: Vec<[f64; 2]> = (0..60)
+        .map(|i| {
+            let x = i as f64;
+            [(x * 37.0) % 50.0, (x * 17.0) % 50.0]
+        })
+        .collect();
+    let mut ci = ColumnIndex::new(L2, Precision::F64);
+    let mut bf = BruteForceIndex::new(L2);
+    assert!(ci.is_columnar());
+    for (i, p) in pts.iter().enumerate() {
+        ci.insert(p, i);
+        bf.insert(p, i);
+    }
+    assert!(ci.remove(&pts[11], 11) && bf.remove(&pts[11], 11));
+    assert!(!ci.remove(&pts[11], 11));
+    assert_eq!(ci.len(), bf.len());
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for q in &pts {
+        ci.within(q, 6.5, &mut a);
+        bf.within(q, 6.5, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "query {q:?}");
+        assert_eq!(
+            ci.absorb_candidate(q, 6.5).is_some(),
+            bf.absorb_candidate(q, 6.5).is_some()
+        );
+    }
+}
+
+#[test]
+fn column_index_falls_back_without_columnar_metric() {
+    use kcz_metric::Line;
+    let mut ci = ColumnIndex::new(Line, Precision::F64);
+    assert!(!ci.is_columnar());
+    ci.insert(&1.0, 0);
+    ci.insert(&5.0, 1);
+    assert_eq!(ci.absorb_candidate(&1.4, 0.5), Some(0));
+    let mut out = Vec::new();
+    ci.within(&3.0, 2.5, &mut out);
+    out.sort_unstable();
+    assert_eq!(out, vec![0, 1]);
+}

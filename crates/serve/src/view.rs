@@ -11,7 +11,7 @@
 //! construction.
 
 use kcz_engine::Snapshot;
-use kcz_metric::{BruteForceIndex, MetricSpace, NeighborIndex, Weighted};
+use kcz_metric::{BruteForceIndex, ColumnSet, MetricSpace, NeighborIndex, Precision, Weighted};
 use std::sync::Arc;
 
 /// The answer to an [`assign`](SnapshotView::assign) query: which center
@@ -56,7 +56,7 @@ pub struct Classification {
 /// Cheap to share (`Arc`), never blocks or is blocked by ingest, and
 /// answers are mutually consistent by construction — they all read the
 /// same frozen center set.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SnapshotView<P, M: MetricSpace<P>> {
     metric: M,
     snap: Arc<Snapshot<P>>,
@@ -64,20 +64,46 @@ pub struct SnapshotView<P, M: MetricSpace<P>> {
     /// index (center counts are `≤ k`, where brute force *is* the right
     /// index — the scan is one deferred-`sqrt` kernel pass).
     index: BruteForceIndex<P, M>,
+    /// Columnar (f64) block of the frozen centers: `assign`, `classify`
+    /// and `nearest_centers` serve from the blocked SoA kernels, which
+    /// are bit-identical to the AoS scans per the metric crate's
+    /// equivalence suite.  `None` for metrics without columnar kernels.
+    cols: Option<ColumnSet>,
+}
+
+impl<P: Clone, M: MetricSpace<P> + Clone> Clone for SnapshotView<P, M> {
+    fn clone(&self) -> Self {
+        // Rebuild from the shared snapshot: the view is immutable, so a
+        // reconstruction is indistinguishable from a field-wise copy.
+        SnapshotView::new(self.metric.clone(), Arc::clone(&self.snap))
+    }
 }
 
 impl<P: Clone, M: MetricSpace<P> + Clone> SnapshotView<P, M> {
     /// Builds a view over a published snapshot: clones the metric and
-    /// indexes the snapshot's centers.
+    /// indexes the snapshot's centers (AoS index plus the columnar
+    /// center block).
     pub fn new(metric: M, snap: Arc<Snapshot<P>>) -> Self {
         let mut index = BruteForceIndex::new(metric.clone());
         for (i, c) in snap.centers.iter().enumerate() {
             index.insert(c, i);
         }
+        let cols = metric.build_columns(&snap.centers, Precision::F64);
         SnapshotView {
             metric,
             snap,
             index,
+            cols,
+        }
+    }
+
+    /// Nearest center to `p` — the columnar kernel over the center block
+    /// when available, the AoS kernel otherwise (identical bits either
+    /// way: exact distances, smallest index on ties).
+    fn nearest_center(&self, p: &P) -> Option<(usize, f64)> {
+        match &self.cols {
+            Some(cols) => self.metric.col_nearest(cols, p),
+            None => self.metric.nearest(p, &self.snap.centers),
         }
     }
 
@@ -126,13 +152,11 @@ impl<P: Clone, M: MetricSpace<P> + Clone> SnapshotView<P, M> {
     /// `None` when the view has no centers (nothing ingested yet, or the
     /// whole weight fit the outlier budget).
     pub fn assign(&self, p: &P) -> Option<Assignment> {
-        self.metric
-            .nearest(p, &self.snap.centers)
-            .map(|(center, dist)| Assignment {
-                center,
-                dist,
-                epoch: self.snap.epoch,
-            })
+        self.nearest_center(p).map(|(center, dist)| Assignment {
+            center,
+            dist,
+            epoch: self.snap.epoch,
+        })
     }
 
     /// Covered/outlier verdict for `p` at radius `r`, with the epoch's
@@ -140,7 +164,7 @@ impl<P: Clone, M: MetricSpace<P> + Clone> SnapshotView<P, M> {
     /// nearest-center distance against `r` (scalar semantics, so callers
     /// re-checking with `dist` reproduce it bit-for-bit).
     pub fn classify(&self, p: &P, r: f64) -> Classification {
-        let near = self.metric.nearest(p, &self.snap.centers);
+        let near = self.nearest_center(p);
         let (center, dist) = match near {
             Some((c, d)) => (Some(c), d),
             None => (None, f64::INFINITY),
@@ -160,7 +184,10 @@ impl<P: Clone, M: MetricSpace<P> + Clone> SnapshotView<P, M> {
     /// Fewer than `j` come back when the view has fewer centers.
     pub fn nearest_centers(&self, p: &P, j: usize) -> Vec<Assignment> {
         let mut dists = Vec::new();
-        self.metric.dist_many(p, &self.snap.centers, &mut dists);
+        match &self.cols {
+            Some(cols) => self.metric.col_dist_many(cols, p, &mut dists),
+            None => self.metric.dist_many(p, &self.snap.centers, &mut dists),
+        }
         let mut order: Vec<usize> = (0..dists.len()).collect();
         order.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]).then(a.cmp(&b)));
         order

@@ -23,7 +23,7 @@
 use std::collections::VecDeque;
 
 use kcz_coreset::streaming_capacity;
-use kcz_metric::{MetricSpace, SpaceUsage, Weighted};
+use kcz_metric::{ColumnSet, MetricSpace, Precision, SpaceUsage, Weighted};
 
 /// One mini-ball cluster of a radius guess.
 #[derive(Debug, Clone)]
@@ -34,13 +34,32 @@ struct SwCluster<P> {
 }
 
 /// One radius guess with its clusters.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Guess<P> {
     rho: f64,
     clusters: Vec<SwCluster<P>>,
     /// Queries before this time must not trust the guess (an eviction
     /// removed points that may still be in the window).
     tainted_until: u64,
+    /// Columnar mirror of the cluster *anchors*, in cluster order, scanned
+    /// by the per-arrival absorb sweep.  A rebuildable cache (excluded
+    /// from the word accounting): appended on cluster creation, kept in
+    /// sync through `swap_remove` on eviction, dropped whenever `expire`
+    /// removes a cluster and rebuilt on the next sweep.  `None` for
+    /// metrics without columnar kernels.
+    anchors: Option<ColumnSet>,
+}
+
+impl<P: Clone> Clone for Guess<P> {
+    fn clone(&self) -> Self {
+        Guess {
+            rho: self.rho,
+            clusters: self.clusters.clone(),
+            tainted_until: self.tainted_until,
+            // Rebuildable cache; the clone regenerates it lazily.
+            anchors: None,
+        }
+    }
 }
 
 /// Result of a sliding-window query.
@@ -101,6 +120,7 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
                 rho,
                 clusters: Vec::new(),
                 tainted_until: 0,
+                anchors: None,
             });
             rho *= 2.0;
         }
@@ -133,7 +153,9 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
         self.evictions
     }
 
-    fn expire(cluster_list: &mut Vec<SwCluster<P>>, now: u64, window: u64) {
+    /// Drops expired points; returns `true` when a whole cluster vanished
+    /// (the caller must then invalidate the anchor mirror).
+    fn expire(cluster_list: &mut Vec<SwCluster<P>>, now: u64, window: u64) -> bool {
         for c in cluster_list.iter_mut() {
             while let Some(&(t, _)) = c.pts.front() {
                 if t + window <= now {
@@ -143,7 +165,20 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
                 }
             }
         }
+        let before = cluster_list.len();
         cluster_list.retain(|c| !c.pts.is_empty());
+        cluster_list.len() != before
+    }
+
+    /// Rebuilds the columnar anchor mirror of one guess from its cluster
+    /// list (no-op for metrics without columnar kernels).
+    fn rebuild_anchors(metric: &M, g: &mut Guess<P>) {
+        if let Some(mut cols) = metric.build_columns(&[], Precision::F64) {
+            for c in &g.clusters {
+                metric.col_push(&mut cols, &c.anchor, 1);
+            }
+            g.anchors = Some(cols);
+        }
     }
 
     /// Handles one arrival.
@@ -152,23 +187,37 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
         let now = self.time;
         let keep = self.z as usize + 1;
         for g in &mut self.guesses {
-            Self::expire(&mut g.clusters, now, self.window);
-            let absorb = self.eps * g.rho / 4.0;
-            let mut placed = false;
-            for c in &mut g.clusters {
-                // Pruned radius predicate (deferred sqrt / early exit).
-                if self.metric.within(&c.anchor, &p, absorb) {
-                    c.pts.push_back((now, p.clone()));
-                    if c.pts.len() > keep {
-                        c.pts.pop_front();
-                    }
-                    placed = true;
-                    break;
-                }
+            if Self::expire(&mut g.clusters, now, self.window) {
+                g.anchors = None;
             }
-            if !placed {
+            if g.anchors.is_none() {
+                Self::rebuild_anchors(&self.metric, g);
+            }
+            let absorb = self.eps * g.rho / 4.0;
+            // First anchor within ε·ρ/4 — the blocked columnar scan when
+            // the metric provides one (first match = smallest index, same
+            // as the AoS sweep; array metrics are symmetric, so scanning
+            // d(p, anchor) matches the AoS d(anchor, p) bit-for-bit), the
+            // per-anchor pruned predicate otherwise.
+            let hit = match &g.anchors {
+                Some(cols) => self.metric.col_find_within(cols, &p, absorb),
+                None => g
+                    .clusters
+                    .iter()
+                    .position(|c| self.metric.within(&c.anchor, &p, absorb)),
+            };
+            if let Some(i) = hit {
+                let c = &mut g.clusters[i];
+                c.pts.push_back((now, p.clone()));
+                if c.pts.len() > keep {
+                    c.pts.pop_front();
+                }
+            } else {
                 let mut pts = VecDeque::with_capacity(1);
                 pts.push_back((now, p.clone()));
+                if let Some(cols) = g.anchors.as_mut() {
+                    self.metric.col_push(cols, &p, 1);
+                }
                 g.clusters.push(SwCluster {
                     anchor: p.clone(),
                     pts,
@@ -185,6 +234,10 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
                         .map(|(i, _)| i)
                         .expect("non-empty cluster list");
                     g.clusters.swap_remove(victim);
+                    if let Some(cols) = g.anchors.as_mut() {
+                        // Same swap-remove keeps the mirror in cluster order.
+                        cols.swap_remove(victim);
+                    }
                     g.tainted_until = now + self.window;
                     self.evictions += 1;
                 }
@@ -203,7 +256,9 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
         let mut fallback: Option<usize> = None;
         let mut chosen: Option<usize> = None;
         for (i, g) in self.guesses.iter_mut().enumerate() {
-            Self::expire(&mut g.clusters, now, window);
+            if Self::expire(&mut g.clusters, now, window) {
+                g.anchors = None;
+            }
             if g.clusters.is_empty() {
                 continue;
             }

@@ -10,7 +10,7 @@
 //! kcz mpc     --input pts.csv --k 3 --z 10 --eps 0.5 --machines 8 \
 //!             [--algorithm two_round|one_round|rround|baseline] [--rounds 3]
 //! kcz engine  --shards 4 --batch 256 --k 3 --z 10 --eps 0.5 \
-//!             [--incremental | --full-republish] [< pts.csv]
+//!             [--precision f64|f32] [--incremental | --full-republish] [< pts.csv]
 //! kcz query   --input pts.csv --requests req.csv --shards 4 --batch 256 \
 //!             --k 3 --z 10 --eps 0.5
 //! kcz conformance [--tier smoke|full] [--json <path>]
@@ -24,7 +24,10 @@
 //! merge-composed ε′ and its certified `3 + 8ε′` bound factor.  With
 //! `--incremental` (dirty-shard re-merge + tree cache) or
 //! `--full-republish` (cold rebuild) it publishes after every batch;
-//! the two print byte-identical output.
+//! the two print byte-identical output.  `--precision f32` switches the
+//! shard absorb sweeps to the columnar f32 storage mode (ε′ widened by
+//! the certified `F32_EPS_BUDGET`); the default `f64` is bit-identical
+//! to the scalar kernels.
 //! `query` ingests the stream the same way, publishes a snapshot, and
 //! answers the request file against it (`assign,x,y` / `classify,x,y,r`
 //! / `nearest,x,y,j` per line) — the read side of the same engine.
@@ -59,7 +62,8 @@ const USAGE: &str = "usage:
   kcz mpc     --input <csv> --k <K> --z <Z> --eps <EPS> --machines <M>
               [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]
   kcz engine  --shards <N> --batch <B> --k <K> --z <Z> --eps <EPS>
-              [--incremental | --full-republish] [--input <csv>]
+              [--precision f64|f32] [--incremental | --full-republish]
+              [--input <csv>]
               (reads stdin when --input is omitted; the republish flags
                publish after every batch instead of once at end)
   kcz query   --input <csv> --requests <file> --shards <N> --batch <B>
@@ -171,11 +175,23 @@ fn run_conformance_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, Stri
     // certified bit-for-bit against from-scratch replays of the same
     // prefixes.
     let ti = std::time::Instant::now();
-    let incremental_viols = incremental_violations(tier);
+    let mut incremental_viols = incremental_violations(tier);
     eprintln!(
         "incremental conformance: {} scenarios replayed in {:.1?}",
         report.scenarios.len(),
         ti.elapsed()
+    );
+    // The f32 storage mode is judged too: every scenario is replayed
+    // through an f32 engine and its published radii re-measured in f64
+    // against the budget-widened bound.  Its entries carry the `f32/`
+    // tag and ride the incremental array, keeping the report schema —
+    // and the byte-pinned golden — stable.
+    let tf = std::time::Instant::now();
+    incremental_viols.extend(f32_violations(tier));
+    eprintln!(
+        "f32 conformance: {} scenarios replayed in {:.1?}",
+        report.scenarios.len(),
+        tf.elapsed()
     );
     if let Some(path) = flags.get("json") {
         let body = report.to_json_with_violations(&query_viols, &incremental_viols);
@@ -337,8 +353,18 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy + Send + Sync>(
             if incremental && full {
                 return Err("--incremental and --full-republish are mutually exclusive".into());
             }
+            // `--precision f32` stores shard representatives in the
+            // columnar f32 lanes (half the bandwidth per absorb sweep)
+            // and folds the certified F32_EPS_BUDGET into ε′; the
+            // default f64 mode is bit-identical to the scalar kernels.
+            let precision: Precision = match flags.get("precision") {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|e: String| format!("--precision: {e}"))?,
+                None => Precision::F64,
+            };
             let t0 = std::time::Instant::now();
-            let mut cfg = EngineConfig::new(shards, k, z, eps);
+            let mut cfg = EngineConfig::new(shards, k, z, eps).with_precision(precision);
             if full {
                 cfg = cfg.full_republish();
             }

@@ -67,15 +67,15 @@ pub mod prelude {
     };
     pub use kcz_engine::{Engine, EngineConfig, EngineStats, Snapshot};
     pub use kcz_harness::{
-        all_pipelines, catalog, incremental_violations, query_violations, run_conformance,
-        ConformanceReport, Pipeline, Scenario, Tier, Verdict,
+        all_pipelines, catalog, f32_violations, incremental_violations, query_violations,
+        run_conformance, ConformanceReport, Pipeline, Scenario, Tier, Verdict,
     };
     pub use kcz_kcenter::{
         cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,
     };
     pub use kcz_metric::{
-        total_weight, unit_weighted, GridL2, GridLinf, Line, Linf, MetricSpace, SpaceUsage,
-        Weighted, L2,
+        total_weight, unit_weighted, GridL2, GridLinf, Line, Linf, MetricSpace, Precision,
+        SpaceUsage, Weighted, L2,
     };
     pub use kcz_mpc::{
         ceccarello_one_round, one_round_randomized, r_round, two_round, MpcCoreset, MpcRunStats,
