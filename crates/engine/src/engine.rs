@@ -34,6 +34,7 @@ use kcz_workloads::{HashPartitioner, ShardKey};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::backend::{AnyShard, Backend, ShardBackend};
 use crate::runtime::{global, Pool};
 
 /// Construction parameters of an [`Engine`].
@@ -63,6 +64,13 @@ pub struct EngineConfig {
     /// [`kcz_metric::F32_EPS_BUDGET`] (published points, weights and
     /// radii stay f64 either way).
     pub precision: Precision,
+    /// Which per-shard backend the engine runs (see
+    /// [`crate::backend`]): insertion-only (the default — summaries
+    /// cover everything ever ingested), a sliding window over the last
+    /// `W` global arrivals, or exponentially decayed weights.  The
+    /// window and decay stages widen the published ε′ by one extra ε
+    /// ([`Backend::extra_eps`]).
+    pub backend: Backend,
 }
 
 impl EngineConfig {
@@ -77,6 +85,7 @@ impl EngineConfig {
             seed: 0x5EED_0E16,
             incremental: true,
             precision: Precision::F64,
+            backend: Backend::Insertion,
         }
     }
 
@@ -94,6 +103,23 @@ impl EngineConfig {
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
         self
+    }
+
+    /// Sets the per-shard backend (see [`EngineConfig::backend`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sliding-window backend over the last `window` global arrivals.
+    pub fn windowed(self, window: u64) -> Self {
+        self.with_backend(Backend::Window(window))
+    }
+
+    /// Decayed backend: representative weights halve every `half_life`
+    /// arrivals since last touch.
+    pub fn decayed(self, half_life: f64) -> Self {
+        self.with_backend(Backend::Decay(half_life))
     }
 }
 
@@ -142,8 +168,27 @@ pub struct Snapshot<P> {
     pub bound_factor: f64,
     /// The merged (ε′,k,z)-coreset itself.
     pub coreset: Vec<Weighted<P>>,
+    /// The global arrival clock at publish time: how many points had
+    /// arrived (in ingest order) when this epoch was solved.  For the
+    /// window backend the epoch summarizes arrivals
+    /// `(clock − W, clock]`; insertion-only epochs summarize
+    /// everything.
+    pub clock: u64,
+    /// The backend the engine ran under (time-windowed readers derive
+    /// the covered span from this plus [`Snapshot::clock`]).
+    pub backend: Backend,
     /// Resource accounting at snapshot time.
     pub stats: EngineStats,
+}
+
+impl<P> Snapshot<P> {
+    /// The span of live arrival stamps `(oldest, newest)` this epoch
+    /// summarizes — `Some` only for the window backend after the first
+    /// arrival ("cluster the last `W` arrivals", the time-windowed
+    /// query contract).
+    pub fn window_span(&self) -> Option<(u64, u64)> {
+        self.backend.window_span(self.clock)
+    }
 }
 
 impl<P: SpaceUsage> SpaceUsage for Snapshot<P> {
@@ -223,7 +268,7 @@ pub struct Engine<P, M: MetricSpace<P>> {
     cfg: EngineConfig,
     metric: M,
     router: HashPartitioner,
-    shards: Vec<Mutex<InsertionOnlyCoreset<P, M>>>,
+    shards: Vec<Mutex<AnyShard<P, M>>>,
     points: AtomicU64,
     batches: AtomicU64,
     epoch: AtomicU64,
@@ -231,12 +276,16 @@ pub struct Engine<P, M: MetricSpace<P>> {
     /// has fully landed in the shards.  `publish` stamps each solved
     /// snapshot with the version it observed before cloning, so an
     /// unchanged version proves the cached snapshot is still current.
+    /// Time is arrival-driven (the clock advances only when points
+    /// land), so an unchanged version also certifies that no window
+    /// expiry or decay tick happened — the fast path is exact in every
+    /// backend mode.
     version: AtomicU64,
-    /// Per-shard dirty tracking: bumped (Release) for every shard a
-    /// batch touched, after the batch landed and before the global
-    /// `version` bump — a publish that observes the new global version
-    /// therefore also observes every shard bump it implies.
-    shard_versions: Vec<AtomicU64>,
+    /// Global arrival clock: the number of points that have *started*
+    /// ingest (stamps are drawn from it before routing).  Backends see
+    /// it as each point's arrival stamp and at publish time via
+    /// `advance_to`.
+    clock: AtomicU64,
     /// Full merge-tree + solve passes performed (the read side's
     /// regression surface: an unchanged version must not re-solve).
     solves: AtomicU64,
@@ -288,9 +337,19 @@ where
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.eps > 0.0 && cfg.eps <= 1.0, "ε must be in (0, 1]");
         assert!(cfg.k >= 1, "k must be at least 1");
+        if let Backend::Window(w) = cfg.backend {
+            assert!(w >= 1, "window must be at least 1");
+        }
+        if let Backend::Decay(h) = cfg.backend {
+            assert!(
+                h.is_finite() && h > 0.0,
+                "half-life must be positive and finite"
+            );
+        }
         let shards = (0..cfg.shards)
             .map(|_| {
-                Mutex::new(InsertionOnlyCoreset::with_precision(
+                Mutex::new(AnyShard::new(
+                    cfg.backend,
                     metric.clone(),
                     cfg.k,
                     cfg.z,
@@ -307,7 +366,7 @@ where
             batches: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             version: AtomicU64::new(0),
-            shard_versions: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
+            clock: AtomicU64::new(0),
             solves: AtomicU64::new(0),
             merges: AtomicU64::new(0),
             published: RwLock::new(None),
@@ -380,67 +439,71 @@ where
     /// concurrently on the pool (each sub-batch takes its shard lock
     /// once).
     pub fn ingest(&self, batch: &[P]) {
-        self.ingest_routed(
-            self.router.split_batch(batch),
-            batch.len() as u64,
-            |shard, p| shard.insert(p),
-        );
+        self.ingest_stamped(batch.len(), batch.iter().map(|p| (p.clone(), 1)));
     }
 
     /// Ingests a batch of weighted points (a weight-`w` point is `w`
-    /// co-located unit arrivals, per the paper's weighted formulation).
-    /// Routing keys on the point only, so weighted and unit arrivals of
-    /// the same location always co-locate.
+    /// co-located unit arrivals, per the paper's weighted formulation;
+    /// on the arrival clock it occupies *one* slot — a weighted point
+    /// is one arrival carrying mass).  Routing keys on the point only,
+    /// so weighted and unit arrivals of the same location always
+    /// co-locate.
     pub fn ingest_weighted(&self, batch: &[Weighted<P>]) {
-        let total = batch.iter().map(|wp| wp.weight).sum();
-        self.ingest_routed(self.router.split_batch(batch), total, |shard, wp| {
-            shard.insert_weighted(wp.point, wp.weight)
-        });
+        self.ingest_stamped(
+            batch.len(),
+            batch.iter().map(|wp| (wp.point.clone(), wp.weight)),
+        );
     }
 
-    /// The one ingest tail both entry points share: drop empty sub-
-    /// batches, run the per-shard loops on the pool (one shard-lock
-    /// acquisition per sub-batch), and bump the counters only once the
-    /// whole batch has landed (the mid-burst snapshot semantics the
-    /// concurrency test documents).
-    fn ingest_routed<T: Send>(
-        &self,
-        routed: Vec<Vec<T>>,
-        total: u64,
-        insert: impl Fn(&mut InsertionOnlyCoreset<P, M>, T) + Sync,
-    ) {
-        let jobs: Vec<(usize, Vec<T>)> = routed
+    /// The one ingest tail both entry points share: draw a contiguous
+    /// range of arrival stamps off the global clock, route each stamped
+    /// point to its shard (same per-point hash as before — stamps ride
+    /// along), run the per-shard insert loops on the pool (one
+    /// shard-lock acquisition per sub-batch), and bump the counters
+    /// only once the whole batch has landed (the mid-burst snapshot
+    /// semantics the concurrency test documents).  Stamps depend only
+    /// on the global arrival order, so batching never changes them.
+    fn ingest_stamped(&self, len: usize, items: impl Iterator<Item = (P, u64)>) {
+        if len == 0 {
+            // An empty flush is a no-op, not an accepted batch.
+            return;
+        }
+        // A routed arrival: (stamp, point, weight).
+        type Stamped<P> = (u64, P, u64);
+        let base = self.clock.fetch_add(len as u64, Ordering::AcqRel);
+        let mut routed: Vec<Vec<Stamped<P>>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
+        let mut total = 0u64;
+        for (i, (p, w)) in items.enumerate() {
+            total += w;
+            routed[self.router.shard_of(&p)].push((base + 1 + i as u64, p, w));
+        }
+        let jobs: Vec<(usize, Vec<Stamped<P>>)> = routed
             .into_iter()
             .enumerate()
             .filter(|(_, sub)| !sub.is_empty())
             .collect();
-        if jobs.is_empty() {
-            // An empty flush is a no-op, not an accepted batch.
-            return;
-        }
-        let touched: Vec<usize> = jobs.iter().map(|(shard, _)| *shard).collect();
         self.pool.scoped_map(jobs, |_, (shard, sub)| {
             let mut guard = self.shards[shard].lock().expect("shard lock");
-            for item in sub {
-                insert(&mut guard, item);
+            for (t, p, w) in sub {
+                guard.insert_weighted(p, w, t);
             }
         });
-        // Per-shard dirty bits bump strictly after the batch landed and
-        // strictly before the global version: a publish that reads the
-        // new global version (Acquire) therefore observes every shard
-        // bump the batch implies, and can only over-approximate
-        // dirtiness, never reuse a stale leaf.
-        for shard in touched {
-            self.shard_versions[shard].fetch_add(1, Ordering::Release);
-        }
         self.points.fetch_add(total, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         // Version bumps strictly *after* the batch has landed: a publish
-        // that reads the new version is guaranteed to clone shards that
-        // already contain the batch (the converse — a clone containing
-        // data newer than its version stamp — is merely conservative and
-        // costs one redundant re-solve).
+        // that reads the new version is guaranteed to observe shards
+        // that already contain the batch (the converse — a shard state
+        // newer than the version stamp — is merely conservative and
+        // costs one redundant re-solve).  Per-shard dirtiness lives in
+        // each backend's state version, read under the shard lock at
+        // publish time, so it can never lag the content it stamps.
         self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The global arrival clock: how many points have entered ingest so
+    /// far (each point occupies one arrival slot, weighted or not).
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
     }
 
     /// Takes an epoch-numbered snapshot of the current contents.
@@ -526,54 +589,54 @@ where
         let prev = lock_recover(&self.tree_cache).take();
         let n = self.cfg.shards;
 
-        // Read the global version *before* the per-shard stamps and the
-        // stamps *before* each clone: a batch landing mid-publish may or
-        // may not be in the clones, but every stamp is then conservative
-        // (older), so the caches can only under-claim freshness — a
-        // redundant re-clone or re-solve, never stale data served as
-        // current.  Every batch the observed global version implies has
-        // already bumped its shard versions (Release before Release), so
-        // a clean stamp match really means "unchanged since the cached
-        // clone".
+        // Read the global version *before* the arrival clock and both
+        // before the per-shard pass: a batch landing mid-publish may or
+        // may not be in the summaries, but each shard's state version
+        // is read under its lock *together with* the content it stamps,
+        // so a cached leaf keyed by that stamp can never be stale — at
+        // worst a later publish re-clones redundantly.
         let version = self.version.load(Ordering::Acquire);
-        let mut stamps = vec![0u64; n];
-        for (i, stamp) in stamps.iter_mut().enumerate() {
-            *stamp = self.shard_versions[i].load(Ordering::Acquire);
-        }
-        let cached = match prev {
-            Some(c) if c.leaf_versions.len() == n => {
-                let dirty: Vec<bool> = (0..n).map(|i| c.leaf_versions[i] != stamps[i]).collect();
-                Some((c.levels, dirty))
-            }
+        let now = self.clock.load(Ordering::Acquire);
+        let prev_leaf_versions = match &prev {
+            Some(c) if c.leaf_versions.len() == n => Some(c.leaf_versions.clone()),
             _ => None,
         };
-        let (prev_levels, dirty) = match cached {
-            Some((levels, dirty)) => {
-                let wrapped: Vec<Vec<Option<InsertionOnlyCoreset<P, M>>>> = levels
-                    .into_iter()
-                    .map(|lvl| lvl.into_iter().map(Some).collect())
-                    .collect();
-                (wrapped, dirty)
-            }
-            None => (Vec::new(), vec![true; n]),
+        let mut prev_levels: Vec<Vec<Option<InsertionOnlyCoreset<P, M>>>> = match prev {
+            Some(c) if prev_leaf_versions.is_some() => c
+                .levels
+                .into_iter()
+                .map(|lvl| lvl.into_iter().map(Some).collect())
+                .collect(),
+            _ => Vec::new(),
         };
 
-        // Phase 1: leaves.  Dirty shards are cloned under their brief
-        // lock; clean shards reuse the cached clone — no shard lock, no
-        // copy.  The cached clone carries the shard's peak-words reading
-        // from clone time, which is still exact while the stamp matches.
-        let mut prev_levels = prev_levels;
+        // Phase 1: leaves.  Every shard is visited under its brief lock:
+        // first `advance_to` delivers the publish-time clock (window
+        // expiry / decay ticks — *time-driven* mutation that bumps the
+        // backend's state version exactly when the summary could have
+        // changed), then the stamp decides dirtiness.  Dirty shards
+        // build a fresh leaf under the same lock; clean shards reuse the
+        // cached clone without copying.  Insertion-only backends ignore
+        // time and their leaves are plain clones — bit-identical to the
+        // pre-backend engine.
+        let mut stamps = vec![0u64; n];
+        let mut dirty = vec![true; n];
         let mut leaves = Vec::with_capacity(n);
         let mut shard_peak_words = 0usize;
         for i in 0..n {
-            if !dirty[i] {
-                let leaf = prev_levels[0][i].take().expect("clean leaf cached");
-                shard_peak_words = shard_peak_words.max(leaf.peak_words());
-                leaves.push(leaf);
+            let mut guard = self.shards[i].lock().expect("shard lock");
+            guard.advance_to(now);
+            stamps[i] = guard.state_version();
+            shard_peak_words = shard_peak_words.max(ShardBackend::<P, M>::peak_words(&*guard));
+            let clean = prev_leaf_versions
+                .as_ref()
+                .is_some_and(|lv| lv[i] == stamps[i]);
+            if clean {
+                drop(guard);
+                dirty[i] = false;
+                leaves.push(prev_levels[0][i].take().expect("clean leaf cached"));
             } else {
-                let guard = self.shards[i].lock().expect("shard lock");
-                shard_peak_words = shard_peak_words.max(guard.peak_words());
-                leaves.push(guard.clone());
+                leaves.push(guard.summary());
             }
         }
 
@@ -647,6 +710,7 @@ where
             if let Some((_, prior)) = &*read_recover(&self.published) {
                 self.elisions.fetch_add(1, Ordering::Relaxed);
                 let mut snap = (**prior).clone();
+                snap.clock = now;
                 snap.stats.points = self.points.load(Ordering::Relaxed);
                 snap.stats.batches = self.batches.load(Ordering::Relaxed);
                 snap.stats.shard_peak_words = shard_peak_words;
@@ -693,7 +757,11 @@ where
             self.cfg.z,
             &params,
         );
-        let effective_eps = merged.effective_eps();
+        // ε′ composition: the merged root accounts the leaf ε and the
+        // per-generation widening; the window / decay stage sits in
+        // front of the leaves and adds its own ε (zero for insertion —
+        // `x + 0.0` is exact, so insertion snapshots are bit-identical).
+        let effective_eps = merged.effective_eps() + self.cfg.backend.extra_eps(self.cfg.eps);
         // The epoch number is drawn only now, on success: a panicking
         // merge or solve burns no epoch, keeping the "epochs advance
         // only when data did" contract across failed publishes.
@@ -706,6 +774,8 @@ where
             uncovered: sol.uncovered,
             effective_eps,
             bound_factor: end_to_end_factor(effective_eps),
+            clock: now,
+            backend: self.cfg.backend,
             stats: EngineStats {
                 shards: self.cfg.shards,
                 points: self.points.load(Ordering::Relaxed),
@@ -731,12 +801,14 @@ where
         self.peak_merge_transient.load(Ordering::Relaxed)
     }
 
-    /// Per-shard summary sizes right now (diagnostics; takes each lock
-    /// briefly).
+    /// Per-shard resident representative counts right now (diagnostics;
+    /// takes each lock briefly).  Insertion shards report their coreset
+    /// size, window shards their live buffer length, decay shards their
+    /// live representative count.
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard lock").coreset().len())
+            .map(|s| s.lock().expect("shard lock").rep_len())
             .collect()
     }
 }

@@ -9,10 +9,12 @@
 //!   conformance harness's full-tier runs, the experiments driver and
 //!   the engine itself all share one process-wide instance
 //!   ([`runtime::global`]).
-//! * [`engine`] — [`engine::Engine`]: `N` shards of the paper's
-//!   insertion-only streaming coreset behind per-shard locks, batched
-//!   hash-routed ingest, and epoch-numbered snapshots that merge the
-//!   shard summaries (Lemma 4 union + Lemma 5 recompression, tracked by
+//! * [`engine`] — [`engine::Engine`]: `N` shards of a pluggable
+//!   [`backend::ShardBackend`] (insertion-only, sliding-window or
+//!   exponentially decayed — see [`backend::Backend`]) behind per-shard
+//!   locks, batched hash-routed ingest stamped by a global arrival
+//!   clock, and epoch-numbered snapshots that merge the shard summaries
+//!   (Lemma 4 union + Lemma 5 recompression, tracked by
 //!   [`kcz_coreset::MergeableSummary`]) on the pool without stalling
 //!   ingest.
 //!
@@ -23,8 +25,13 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod engine;
 pub mod runtime;
 
+pub use backend::{
+    AnyShard, Backend, DecayShard, InsertionShard, ShardBackend, WindowShard, WINDOW_RHO_MAX,
+    WINDOW_RHO_MIN,
+};
 pub use engine::{Engine, EngineConfig, EngineStats, Snapshot};
 pub use runtime::{global, Pool};

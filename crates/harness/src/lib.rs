@@ -25,6 +25,11 @@
 //! [`f32_violations`] replays each scenario through an f32 engine and
 //! re-measures every published radius in f64 against the
 //! budget-widened `(3 + 8ε′)·opt` — see [`f32cert`].
+//! The churn-capable backends are judged by from-scratch oracles:
+//! [`churn_violations`] certifies windowed epochs bit-for-bit against
+//! unexpired-suffix replays (plus live-membership and a suffix-optimum
+//! bound check) and decayed epochs against a full-republish engine on
+//! the same publish schedule — see [`churn`].
 //!
 //! The facade exposes this as `kcz conformance [--tier smoke|full]
 //! [--json <path>]`; CI runs the smoke tier on every push and fails on
@@ -32,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod f32cert;
 pub mod incremental;
 pub mod pipeline;
@@ -39,6 +45,7 @@ pub mod query;
 pub mod report;
 pub mod scenario;
 
+pub use churn::churn_violations;
 pub use f32cert::f32_violations;
 pub use incremental::incremental_violations;
 pub use pipeline::{all_pipelines, Model, Pipeline, RadiusBound, Verdict};

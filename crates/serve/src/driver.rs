@@ -383,6 +383,50 @@ mod tests {
     }
 
     #[test]
+    fn windowed_engine_replay_forgets_old_phases_and_stays_deterministic() {
+        // A phase-shift trace against a sliding-window engine: by the
+        // final refresh the window holds only last-regime arrivals, so
+        // every served center must be a last-regime location — the
+        // staleness an insertion-only engine would keep serving forever.
+        use kcz_workloads::phase_shift_stream;
+        let writes = phase_shift_stream(3, 200, 1.0, 5000.0, 21);
+        let last_phase = &writes[400..];
+        let reads: Vec<[f64; 2]> = last_phase.iter().step_by(10).copied().collect();
+        let t = mixed_trace(&writes, &reads, 0x51D);
+        let window = 200u64;
+        let mk = || {
+            Arc::new(Engine::new(
+                L2,
+                EngineConfig::new(4, 1, 2, 0.5).windowed(window),
+            ))
+        };
+        let cfg = DriverConfig {
+            ingest_batch: 64,
+            refresh_every: 128,
+            classify_radius: None,
+        };
+        let a = LoadDriver::new(mk(), cfg).run(&t);
+        assert_eq!(a.ingested, 600);
+        assert_eq!(a.queries, reads.len() as u64);
+        // Same trace, same config, same windowed engine ⇒ same digest.
+        let b = LoadDriver::new(mk(), cfg).run(&t);
+        assert_eq!(a.answer_digest, b.answer_digest);
+        assert_eq!(a.final_epoch, b.final_epoch);
+        // The final view window spans exactly the last `window` stamps,
+        // and its centers live in the last regime (x ≈ 5000, y ≈ 5000).
+        let driver = LoadDriver::new(mk(), cfg);
+        driver.run(&t);
+        let view = driver.query_engine().view();
+        assert_eq!(view.window_span(), Some((600 - window + 1, 600)));
+        for c in view.centers() {
+            assert!(
+                c[0] > 4000.0 && c[1] > 4000.0,
+                "stale center {c:?} served from an expired phase"
+            );
+        }
+    }
+
+    #[test]
     fn histogram_quantiles_are_ordered() {
         let mut h = LatencyHistogram::default();
         assert_eq!(h.quantile_ns(0.5), 0);

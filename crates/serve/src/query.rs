@@ -15,9 +15,24 @@ use kcz_engine::runtime::{global, Pool};
 use kcz_engine::Engine;
 use kcz_metric::{MetricSpace, SpaceUsage};
 use kcz_workloads::ShardKey;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::view::{Assignment, Classification, SnapshotView};
+
+/// Acquire a read guard, shrugging off poison: the view lock only ever
+/// stores a whole `Arc`, and the swap that installs one is infallible,
+/// so a panic under the lock (a view construction that blew up inside
+/// [`QueryEngine::refresh`]) cannot leave torn state behind.  The last
+/// successfully installed view is still good; serve it.
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-side twin of [`read_recover`], for refreshers that follow a
+/// panicked refresher.
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Queries per pool task in the batched paths: large enough that the
 /// per-task overhead vanishes, small enough to spread across workers.
@@ -56,8 +71,14 @@ where
     /// The current view: one brief read-lock, one `Arc` clone.  Hold the
     /// returned view to answer any number of mutually consistent queries
     /// under its frozen epoch.
+    ///
+    /// A writer that panicked mid-refresh poisons the lock but cannot
+    /// tear the stored `Arc` (the swap itself is infallible), so the
+    /// poison flag is noise: readers recover the guard and keep serving
+    /// the last installed view rather than propagating the panic to
+    /// every subsequent request.
     pub fn view(&self) -> Arc<SnapshotView<P, M>> {
-        Arc::clone(&self.view.read().expect("view lock"))
+        Arc::clone(&read_recover(&self.view))
     }
 
     /// Republishes if the engine's data version advanced: asks the
@@ -65,21 +86,26 @@ where
     /// epoch without re-merging when nothing changed), and only when the
     /// epoch actually moved builds a fresh view and swaps it in.
     /// Returns the view that is current afterwards.
+    ///
+    /// View construction happens inside the write critical section after
+    /// an epoch double-check, so concurrent refreshers build the view at
+    /// most once per epoch; like [`view`](Self::view), the lock is
+    /// recovered if a previous refresher panicked while holding it.
     pub fn refresh(&self) -> Arc<SnapshotView<P, M>> {
         let snap = self.engine.publish();
         let current = self.view();
         if current.epoch() == snap.epoch {
             return current;
         }
-        let fresh = Arc::new(SnapshotView::new(self.engine.metric().clone(), snap));
-        let mut guard = self.view.write().expect("view lock");
-        // A racing refresher may have installed an even newer epoch.
-        if guard.epoch() < fresh.epoch() {
-            *guard = Arc::clone(&fresh);
-            fresh
-        } else {
-            Arc::clone(&guard)
+        let mut guard = write_recover(&self.view);
+        // A racing refresher may have installed this epoch (or newer)
+        // while we waited for the lock.
+        if guard.epoch() >= snap.epoch {
+            return Arc::clone(&guard);
         }
+        let fresh = Arc::new(SnapshotView::new(self.engine.metric().clone(), snap));
+        *guard = Arc::clone(&fresh);
+        fresh
     }
 
     /// [`SnapshotView::assign`] against the current view.
@@ -95,6 +121,13 @@ where
     /// [`SnapshotView::nearest_centers`] against the current view.
     pub fn nearest_centers(&self, p: &P, j: usize) -> Vec<Assignment> {
         self.view().nearest_centers(p, j)
+    }
+
+    /// [`SnapshotView::window_span`] of the current view: the live
+    /// arrival-stamp span a windowed engine's answers cover, `None`
+    /// outside window mode.
+    pub fn window_span(&self) -> Option<(u64, u64)> {
+        self.view().window_span()
     }
 
     /// Batched assign: acquires the view once, answers every query under

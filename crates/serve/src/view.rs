@@ -10,7 +10,7 @@
 //! through a [`NeighborIndex`] built over the centers at view
 //! construction.
 
-use kcz_engine::Snapshot;
+use kcz_engine::{Backend, Snapshot};
 use kcz_metric::{BruteForceIndex, ColumnSet, MetricSpace, NeighborIndex, Precision, Weighted};
 use std::sync::Arc;
 
@@ -140,6 +140,28 @@ impl<P: Clone, M: MetricSpace<P> + Clone> SnapshotView<P, M> {
     /// The ε′ the epoch's summary certifies.
     pub fn effective_eps(&self) -> f64 {
         self.snap.effective_eps
+    }
+
+    /// The global arrival clock at publish: how many points had entered
+    /// ingest when this epoch was cut (each arrival occupies one stamp;
+    /// a weighted point occupies one stamp carrying its mass).
+    pub fn clock(&self) -> u64 {
+        self.snap.clock
+    }
+
+    /// The backend mode the epoch was produced under.
+    pub fn backend(&self) -> Backend {
+        self.snap.backend
+    }
+
+    /// The time-windowed query contract: the span `(oldest, newest)` of
+    /// live arrival stamps this epoch summarizes.  `Some` only for the
+    /// window backend after the first arrival — every answer the view
+    /// serves then clusters exactly the last `W` arrivals; `None` means
+    /// the epoch summarizes the whole stream (insertion) or its decayed
+    /// entirety (decay).
+    pub fn window_span(&self) -> Option<(u64, u64)> {
+        self.snap.window_span()
     }
 
     /// The epoch's certified end-to-end ratio factor, `3 + 8ε′`.

@@ -18,6 +18,7 @@
 use kcz_engine::{Engine, EngineConfig};
 use kcz_metric::{total_weight, MetricSpace, L2};
 use kcz_serve::QueryEngine;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
 const WRITERS: usize = 3;
@@ -45,6 +46,84 @@ fn points(n: usize, mut s: u64) -> Vec<[f64; 2]> {
             }
         })
         .collect()
+}
+
+/// An L2 delegate whose `Clone` can be armed to panic.  `refresh`
+/// clones the metric while building the fresh view *inside* the view
+/// write critical section, so arming this mid-run simulates a writer
+/// dying while holding the lock — the poisoned-lock scenario the read
+/// path must recover from.
+#[derive(Debug)]
+struct PanickyL2(Arc<AtomicBool>);
+
+impl Clone for PanickyL2 {
+    fn clone(&self) -> Self {
+        assert!(
+            !self.0.load(Ordering::SeqCst),
+            "armed: metric clone blew up mid-refresh"
+        );
+        PanickyL2(Arc::clone(&self.0))
+    }
+}
+
+impl MetricSpace<[f64; 2]> for PanickyL2 {
+    fn dist(&self, a: &[f64; 2], b: &[f64; 2]) -> f64 {
+        L2.dist(a, b)
+    }
+    fn doubling_dim(&self) -> usize {
+        <L2 as MetricSpace<[f64; 2]>>::doubling_dim(&L2)
+    }
+}
+
+#[test]
+fn a_panicking_refresher_does_not_wedge_readers_or_later_refreshers() {
+    let armed = Arc::new(AtomicBool::new(false));
+    let engine = Arc::new(Engine::new(
+        PanickyL2(Arc::clone(&armed)),
+        EngineConfig::new(4, K, Z, 0.5),
+    ));
+    engine.ingest(&points(60, 0xABCD));
+    let query = Arc::new(QueryEngine::new(Arc::clone(&engine)));
+    let good = query.refresh();
+    assert!(!good.centers().is_empty());
+
+    // New data arrives and the engine publishes the new epoch up front
+    // (disarmed), so the refresher below takes the memoized publish fast
+    // path — its only metric clone is the one `refresh` performs while
+    // building the fresh view inside the write critical section.
+    engine.ingest(&points(60, 0x1234));
+    engine.publish();
+    armed.store(true, Ordering::SeqCst);
+    let crashed = std::thread::spawn({
+        let query = Arc::clone(&query);
+        move || {
+            query.refresh();
+        }
+    })
+    .join();
+    assert!(crashed.is_err(), "the armed clone must panic the refresher");
+    armed.store(false, Ordering::SeqCst);
+
+    // Readers recover the poisoned lock and keep serving the last
+    // successfully installed view instead of propagating the panic.
+    let view = query.view();
+    assert_eq!(view.epoch(), good.epoch(), "last good view survives");
+    for p in &points(10, 0xEE) {
+        assert_eq!(view.assign(p), good.assign(p));
+    }
+
+    // The next refresher recovers too, and installs the new epoch.
+    let fresh = query.refresh();
+    assert!(
+        fresh.epoch() > good.epoch(),
+        "recovered refresh republishes"
+    );
+    assert_eq!(
+        total_weight(&fresh.snapshot().coreset),
+        120,
+        "both batches are in the recovered epoch"
+    );
+    assert_eq!(query.view().epoch(), fresh.epoch());
 }
 
 #[test]

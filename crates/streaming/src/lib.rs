@@ -28,4 +28,4 @@ pub use dynamic::{DynamicCoreset, DynamicCoresetError};
 pub use dynamic_det::DeterministicDynamicCoreset;
 pub use dynamic_solver::{DynamicKCenter, DynamicSolution};
 pub use insertion::{DoublingCoreset, InsertionOnlyCoreset};
-pub use sliding::SlidingWindowCoreset;
+pub use sliding::{SlidingWindowCoreset, SwQuery, SwStampedQuery};

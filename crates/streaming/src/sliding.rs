@@ -17,8 +17,11 @@
 //! `opt > ρ`), all stored unexpired points at unit weight.  If a guess
 //! ever exceeds the cluster cap, the cluster expiring soonest is evicted
 //! and the guess is marked unreliable until the evicted points would have
-//! left the window anyway (`eviction time + W`), after which its content
-//! is provably complete again.
+//! left the window anyway — their newest stamp plus `W`, after which the
+//! guess's content is provably complete again.  (The newest evicted stamp
+//! is at most the eviction time, so this recovers no later than the
+//! conservative `eviction time + W` and can recover a full window
+//! earlier.)
 
 use std::collections::VecDeque;
 
@@ -69,6 +72,22 @@ pub struct SwQuery<P> {
     /// per mini-ball by construction).
     pub coreset: Vec<Weighted<P>>,
     /// The radius guess the coreset was read from.
+    pub rho: f64,
+    /// Number of clusters at that guess.
+    pub clusters: usize,
+    /// How many finer guesses were skipped because they were tainted.
+    pub tainted_skipped: usize,
+}
+
+/// Result of a [`SlidingWindowCoreset::stamped_query`]: the chosen
+/// guess's stored window content with arrival stamps retained.
+#[derive(Debug, Clone)]
+pub struct SwStampedQuery<P> {
+    /// `(arrival time, point)` pairs, oldest-first within each mini-ball,
+    /// mini-balls in cluster order.  Weights are unit (clamped at `z+1`
+    /// per mini-ball by construction, exactly as in [`SwQuery`]).
+    pub points: Vec<(u64, P)>,
+    /// The radius guess the content was read from.
     pub rho: f64,
     /// Number of clusters at that guess.
     pub clusters: usize,
@@ -183,8 +202,20 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
 
     /// Handles one arrival.
     pub fn insert(&mut self, p: P) {
-        self.time += 1;
-        let now = self.time;
+        self.insert_at(p, self.time + 1);
+    }
+
+    /// Handles one arrival carrying an explicit clock reading: the point
+    /// is stamped `now` and the structure's clock jumps there (expiring
+    /// whatever the jump leaves behind).  Stamps must be non-decreasing;
+    /// equal stamps are legal — co-located copies of one weighted
+    /// arrival share a slot.  This is the replay entry for callers that
+    /// own the clock (the engine's window backend re-streams per-shard
+    /// suffixes of a *global* arrival order, so a shard's stamps have
+    /// gaps).  [`insert`](Self::insert) is `insert_at` at `time + 1`.
+    pub fn insert_at(&mut self, p: P, now: u64) {
+        assert!(now >= self.time, "arrival stamps must be non-decreasing");
+        self.time = now;
         let keep = self.z as usize + 1;
         for g in &mut self.guesses {
             if Self::expire(&mut g.clusters, now, self.window) {
@@ -226,19 +257,25 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
                     // Packing bound violated ⇒ opt(window) > ρ right now.
                     // Evict the cluster that expires soonest and taint the
                     // guess until its points would have expired anyway.
-                    let victim = g
+                    let (victim, victim_back) = g
                         .clusters
                         .iter()
                         .enumerate()
-                        .min_by_key(|(_, c)| c.pts.back().map(|&(t, _)| t).unwrap_or(0))
-                        .map(|(i, _)| i)
+                        .map(|(i, c)| (i, c.pts.back().map(|&(t, _)| t).unwrap_or(0)))
+                        .min_by_key(|&(_, t)| t)
                         .expect("non-empty cluster list");
                     g.clusters.swap_remove(victim);
                     if let Some(cols) = g.anchors.as_mut() {
                         // Same swap-remove keeps the mirror in cluster order.
                         cols.swap_remove(victim);
                     }
-                    g.tainted_until = now + self.window;
+                    // The evicted points all carry stamps ≤ `victim_back`,
+                    // so they leave the window at `victim_back + W` — the
+                    // guess is provably complete again then.  `now + W`
+                    // would over-taint by up to `now − victim_back`
+                    // arrivals and shunt queries to needlessly coarse
+                    // guesses in the meantime.
+                    g.tainted_until = g.tainted_until.max(victim_back + self.window);
                     self.evictions += 1;
                 }
             }
@@ -246,10 +283,37 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
         self.peak_words = self.peak_words.max(self.space_words());
     }
 
-    /// Queries the coreset for the current window.
+    /// Advances the clock to `now` without an arrival (time-driven churn:
+    /// the window slides because time passed elsewhere, e.g. arrivals
+    /// landing on sibling shards of a sharded engine).  Expires every
+    /// guess immediately, so a mini-ball whose stored points have all
+    /// left the window is dropped rather than retained or rescanned.
     ///
-    /// Returns `None` only when the window is empty.
-    pub fn query(&mut self) -> Option<SwQuery<P>> {
+    /// `now` earlier than the current clock is a no-op (the clock never
+    /// moves backwards).
+    pub fn advance_to(&mut self, now: u64) {
+        if now <= self.time {
+            return;
+        }
+        self.time = now;
+        for g in &mut self.guesses {
+            if Self::expire(&mut g.clusters, now, self.window) {
+                g.anchors = None;
+            }
+        }
+    }
+
+    /// Expires every guess at the current clock and picks the finest
+    /// reliable one: the smallest-`ρ` non-empty guess within the cluster
+    /// cap and past its taint horizon, falling back to the finest tainted
+    /// in-cap guess when none is reliable.  Returns the guess index and
+    /// how many tainted guesses were passed over.
+    ///
+    /// Every guess is brought current here — including ones coarser than
+    /// the selected answer — so a fully-expired mini-ball can never
+    /// outlive its window in storage (`stored_points`/`space_words` count
+    /// live content only).
+    fn choose_guess(&mut self) -> Option<(usize, usize)> {
         let now = self.time;
         let window = self.window;
         let mut tainted_skipped = 0usize;
@@ -259,19 +323,26 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
             if Self::expire(&mut g.clusters, now, window) {
                 g.anchors = None;
             }
-            if g.clusters.is_empty() {
+            if g.clusters.is_empty() || chosen.is_some() {
                 continue;
             }
             if (g.clusters.len() as u64) <= self.cap {
                 if now >= g.tainted_until {
                     chosen = Some(i);
-                    break;
+                } else {
+                    tainted_skipped += 1;
+                    fallback = fallback.or(Some(i));
                 }
-                tainted_skipped += 1;
-                fallback = fallback.or(Some(i));
             }
         }
-        let idx = chosen.or(fallback)?;
+        chosen.or(fallback).map(|i| (i, tainted_skipped))
+    }
+
+    /// Queries the coreset for the current window.
+    ///
+    /// Returns `None` only when the window is empty.
+    pub fn query(&mut self) -> Option<SwQuery<P>> {
+        let (idx, tainted_skipped) = self.choose_guess()?;
         let g = &self.guesses[idx];
         let mut coreset = Vec::new();
         for c in &g.clusters {
@@ -281,6 +352,30 @@ impl<P: Clone + SpaceUsage, M: MetricSpace<P>> SlidingWindowCoreset<P, M> {
         }
         Some(SwQuery {
             coreset,
+            rho: g.rho,
+            clusters: g.clusters.len(),
+            tainted_skipped,
+        })
+    }
+
+    /// [`query`](Self::query) keeping each point's arrival stamp: the
+    /// same guess selection, but the coreset is returned as
+    /// `(arrival, point)` pairs (oldest-first within each mini-ball,
+    /// mini-balls in cluster order).  This is the read path for callers
+    /// that need to re-stream the window content in arrival order — the
+    /// engine's window backend sorts these stamps to rebuild a
+    /// deterministic summary of the unexpired suffix.
+    pub fn stamped_query(&mut self) -> Option<SwStampedQuery<P>> {
+        let (idx, tainted_skipped) = self.choose_guess()?;
+        let g = &self.guesses[idx];
+        let mut points = Vec::new();
+        for c in &g.clusters {
+            for (t, p) in &c.pts {
+                points.push((*t, p.clone()));
+            }
+        }
+        Some(SwStampedQuery {
+            points,
             rho: g.rho,
             clusters: g.clusters.len(),
             tainted_skipped,
@@ -440,5 +535,136 @@ mod tests {
         assert!(alg.evictions() > 0, "expected cap overflow at tiny guesses");
         let q = alg.query().expect("window non-empty");
         assert!(!q.coreset.is_empty());
+    }
+
+    #[test]
+    fn taint_clears_when_the_evicted_points_expire_not_a_window_after_eviction() {
+        // One guess bracket so every insert hits the same fine guesses.
+        // cap far-apart points fill the guess; point cap+1 triggers an
+        // eviction whose victim holds only the stamp-1 point.  The guess
+        // is complete again at `1 + W` — asserting a query between
+        // `victim_back + W` and `eviction_time + W` trusts it pins the
+        // corrected taint bound (the old `now + W` taint would skip it).
+        let (k, z, eps, w) = (1usize, 0u64, 1.0f64, 10_000u64);
+        let cap = kcz_coreset::streaming_capacity(k, z, eps, 2) as usize;
+        let mut alg = SlidingWindowCoreset::new(L2, k, z, eps, w, 0.01, 0.02);
+        for i in 0..=cap {
+            alg.insert([i as f64 * 1e6, 0.0]);
+        }
+        assert_eq!(alg.evictions(), alg.num_guesses() as u64);
+        // Jump to just before the eviction-time taint would clear: every
+        // point with stamp ≤ cap has expired, so the guess holds exactly
+        // the last arrival and its content is provably complete.
+        alg.advance_to(w + cap as u64);
+        let q = alg.query().expect("last arrival still in window");
+        assert_eq!(
+            q.tainted_skipped, 0,
+            "guess still tainted past victim_back + W"
+        );
+        assert_eq!(q.coreset.len(), 1);
+        assert_eq!(q.clusters, 1);
+    }
+
+    #[test]
+    fn fully_expired_clusters_are_dropped_in_every_guess_not_just_the_chosen_one() {
+        // One location, z = 2 ⇒ each guess stores the newest 3 stamps.
+        // Advance past the oldest stored stamp's expiry without an
+        // arrival: a query must expire *all* guesses, not stop at the
+        // finest (which used to leave expired mini-ball content resident
+        // in every coarser guess).
+        let mut alg = SlidingWindowCoreset::new(L2, 1, 2, 1.0, 5, 0.1, 100.0);
+        for _ in 0..5 {
+            alg.insert([1.0, 1.0]);
+        }
+        let guesses = alg.num_guesses();
+        assert_eq!(alg.stored_points(), 3 * guesses);
+        alg.advance_to(8); // stamp 3 expires (3 + 5 ≤ 8); stamps 4, 5 live
+        let q = alg.query().expect("stamps 4 and 5 still in window");
+        assert_eq!(q.coreset.len(), 2);
+        assert_eq!(
+            alg.stored_points(),
+            2 * guesses,
+            "a coarser guess retained a point past its window"
+        );
+    }
+
+    #[test]
+    fn long_adversarial_stream_stays_within_the_space_bound_with_churn_and_queries() {
+        // Bursts of pairwise-far points (forcing cap evictions at fine
+        // guesses) interleaved with arrival-free clock jumps and queries.
+        // Pins the documented space bound and that no stored point ever
+        // outlives its window, on every guess, at every step.
+        let (k, z, eps, w) = (1usize, 3u64, 1.0f64, 2048u64);
+        let mut alg = SlidingWindowCoreset::new(L2, k, z, eps, w, 0.25, 4096.0);
+        let mut s = 0x5EEDu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for round in 0..300u64 {
+            let burst = 1 + next() % 64;
+            for _ in 0..burst {
+                let r = next();
+                // Far-apart adversarial placements plus occasional repeats.
+                let p = if r % 5 == 0 {
+                    [0.0, 0.0]
+                } else {
+                    [(r % 4096) as f64 * 31.0, ((r >> 12) % 4096) as f64 * 17.0]
+                };
+                alg.insert(p);
+            }
+            if round % 7 == 0 {
+                alg.advance_to(alg.time() + next() % (w / 2));
+            }
+            if round % 3 == 0 {
+                alg.query();
+            }
+            let now = alg.time();
+            for g in &alg.guesses {
+                for c in &g.clusters {
+                    for &(t, _) in &c.pts {
+                        assert!(t + w > now, "stored stamp {t} expired at clock {now}");
+                    }
+                }
+            }
+        }
+        assert!(
+            alg.evictions() > 0,
+            "adversarial stream never overflowed a guess"
+        );
+        let cap = kcz_coreset::streaming_capacity(k, z, eps, 2);
+        let per_point_words = 3; // 2 coords + timestamp
+        let bound =
+            alg.num_guesses() * (cap as usize) * ((z as usize + 1) * per_point_words + 3) + 64;
+        assert!(
+            alg.peak_words() <= bound,
+            "peak {} exceeds bound {bound}",
+            alg.peak_words()
+        );
+    }
+
+    #[test]
+    fn stamped_query_matches_query_and_keeps_live_stamps_only() {
+        let mut alg = SlidingWindowCoreset::new(L2, 2, 1, 1.0, 20, 0.5, 512.0);
+        for i in 0..50u64 {
+            let x = (i % 9) as f64 * 2.0;
+            alg.insert(if i % 2 == 0 {
+                [x, 0.0]
+            } else {
+                [200.0 + x, 3.0]
+            });
+        }
+        let stamped = alg.stamped_query().expect("window non-empty");
+        let plain = alg.query().expect("window non-empty");
+        assert_eq!(stamped.rho.to_bits(), plain.rho.to_bits());
+        assert_eq!(stamped.clusters, plain.clusters);
+        assert_eq!(stamped.points.len(), plain.coreset.len());
+        let now = alg.time();
+        for (i, (t, p)) in stamped.points.iter().enumerate() {
+            assert!(t + 20 > now, "stamp {t} expired");
+            assert_eq!(*p, plain.coreset[i].point);
+        }
     }
 }

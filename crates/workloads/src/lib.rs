@@ -20,4 +20,6 @@ pub use generators::{
 pub use partition::{
     concentrated_partition, random_partition, round_robin, HashPartitioner, ShardKey,
 };
-pub use streams::{churn_schedule, drifting_stream, mixed_trace, shuffled, DynamicOp, TraceOp};
+pub use streams::{
+    churn_schedule, drifting_stream, mixed_trace, phase_shift_stream, shuffled, DynamicOp, TraceOp,
+};

@@ -139,6 +139,46 @@ pub fn drifting_stream(
     out
 }
 
+/// A phase-shift stream for the churn-capable engine backends: `phases`
+/// successive regimes of `per_phase` arrivals each, every regime a
+/// Gaussian cluster whose center jumps `gap` away from the previous one
+/// (alternating axis directions so consecutive phases never overlap).
+/// Once the arrival clock moves a window (or many half-lives) past a
+/// phase boundary, a sliding-window or decayed backend must forget the
+/// old regime entirely — an insertion-only summary keeps paying for it
+/// forever.  Returns the arrivals in phase order.
+pub fn phase_shift_stream(
+    phases: usize,
+    per_phase: usize,
+    sigma: f64,
+    gap: f64,
+    seed: u64,
+) -> Vec<[f64; 2]> {
+    assert!(phases >= 1 && per_phase >= 1 && sigma > 0.0 && gap > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut center = [0.0f64, 0.0];
+    let mut out = Vec::with_capacity(phases * per_phase);
+    for phase in 0..phases {
+        if phase > 0 {
+            // Alternate the jump axis so the path never doubles back
+            // onto a previous regime.
+            if phase % 2 == 1 {
+                center[0] += gap;
+            } else {
+                center[1] += gap;
+            }
+        }
+        for _ in 0..per_phase {
+            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let g0 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let g1 = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).sin();
+            out.push([center[0] + sigma * g0, center[1] + sigma * g1]);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +250,25 @@ mod tests {
         let late = s[498];
         let d = ((early[0] - late[0]).powi(2) + (early[1] - late[1]).powi(2)).sqrt();
         assert!(d > 50.0, "drift too small: {d}");
+    }
+
+    #[test]
+    fn phase_shift_stream_separates_regimes() {
+        let s = phase_shift_stream(3, 100, 1.0, 500.0, 7);
+        assert_eq!(s.len(), 300);
+        assert_eq!(s, phase_shift_stream(3, 100, 1.0, 500.0, 7));
+        // Any two points of the same phase are close; any two points of
+        // different phases are far (gap ≫ sigma).
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        for w in [&s[..100], &s[100..200], &s[200..]] {
+            for p in w {
+                assert!(dist(*p, w[0]) < 100.0, "intra-phase spread too wide");
+            }
+        }
+        assert!(dist(s[0], s[150]) > 250.0, "phases 0 and 1 overlap");
+        assert!(dist(s[150], s[250]) > 250.0, "phases 1 and 2 overlap");
+        assert!(dist(s[0], s[250]) > 250.0, "the path doubled back");
     }
 
     #[test]

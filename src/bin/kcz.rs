@@ -10,7 +10,9 @@
 //! kcz mpc     --input pts.csv --k 3 --z 10 --eps 0.5 --machines 8 \
 //!             [--algorithm two_round|one_round|rround|baseline] [--rounds 3]
 //! kcz engine  --shards 4 --batch 256 --k 3 --z 10 --eps 0.5 \
-//!             [--precision f64|f32] [--incremental | --full-republish] [< pts.csv]
+//!             [--precision f64|f32] [--incremental | --full-republish] \
+//!             [--backend insertion|window|decay] [--window W] [--half-life H] \
+//!             [< pts.csv]
 //! kcz query   --input pts.csv --requests req.csv --shards 4 --batch 256 \
 //!             --k 3 --z 10 --eps 0.5
 //! kcz conformance [--tier smoke|full] [--json <path>]
@@ -63,9 +65,12 @@ const USAGE: &str = "usage:
               [--algorithm two_round|one_round|rround|baseline] [--rounds <R>]
   kcz engine  --shards <N> --batch <B> --k <K> --z <Z> --eps <EPS>
               [--precision f64|f32] [--incremental | --full-republish]
-              [--input <csv>]
+              [--backend insertion|window|decay] [--window <W>]
+              [--half-life <H>] [--input <csv>]
               (reads stdin when --input is omitted; the republish flags
-               publish after every batch instead of once at end)
+               publish after every batch instead of once at end;
+               --backend window requires --window, --backend decay
+               requires --half-life)
   kcz query   --input <csv> --requests <file> --shards <N> --batch <B>
               --k <K> --z <Z> --eps <EPS>
   kcz conformance [--tier smoke|full] [--json <path>]
@@ -192,6 +197,19 @@ fn run_conformance_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, Stri
         "f32 conformance: {} scenarios replayed in {:.1?}",
         report.scenarios.len(),
         tf.elapsed()
+    );
+    // The churn-capable backends are judged too: windowed epochs are
+    // certified bit-for-bit against unexpired-suffix replays (plus
+    // live-membership and a suffix-optimum bound check) and decayed
+    // epochs against a full-republish engine on the same schedule.
+    // Entries carry the `churn/` tag and ride the incremental array,
+    // keeping the report schema — and the byte-pinned golden — stable.
+    let tc = std::time::Instant::now();
+    incremental_viols.extend(churn_violations(tier));
+    eprintln!(
+        "churn conformance: {} scenarios replayed in {:.1?}",
+        report.scenarios.len(),
+        tc.elapsed()
     );
     if let Some(path) = flags.get("json") {
         let body = report.to_json_with_violations(&query_viols, &incremental_viols);
@@ -363,8 +381,16 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy + Send + Sync>(
                     .map_err(|e: String| format!("--precision: {e}"))?,
                 None => Precision::F64,
             };
+            // `--backend window --window W` summarizes only the last W
+            // arrivals; `--backend decay --half-life H` halves
+            // representative weights every H arrivals.  The default
+            // insertion backend prints byte-identical output to before
+            // backends existed.
+            let backend = parse_backend(flags)?;
             let t0 = std::time::Instant::now();
-            let mut cfg = EngineConfig::new(shards, k, z, eps).with_precision(precision);
+            let mut cfg = EngineConfig::new(shards, k, z, eps)
+                .with_precision(precision)
+                .with_backend(backend);
             if full {
                 cfg = cfg.full_republish();
             }
@@ -380,6 +406,23 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy + Send + Sync>(
                 "engine: shards={shards}  batch={batch}  points={}  batches={}  epoch={}",
                 snap.stats.points, snap.stats.batches, snap.epoch
             );
+            // Non-default backends report their time state; the default
+            // insertion mode prints nothing extra (byte-stable output).
+            match backend {
+                Backend::Insertion => {}
+                Backend::Window(w) => {
+                    let span = snap
+                        .window_span()
+                        .map_or_else(|| "empty".to_string(), |(lo, hi)| format!("{lo}..{hi}"));
+                    println!(
+                        "backend: window  window={w}  clock={}  live_span={span}",
+                        snap.clock
+                    );
+                }
+                Backend::Decay(h) => {
+                    println!("backend: decay  half_life={h}  clock={}", snap.clock);
+                }
+            }
             println!(
                 "coreset: {}  shard_peak_words: {}  merge_words: {}  effective_eps: {:.6}",
                 snap.coreset.len(),
@@ -545,6 +588,51 @@ fn parse_requests(path: &str, body: &str) -> Result<Vec<Request>, String> {
         }
     }
     Ok(out)
+}
+
+/// Parses the `kcz engine` backend choice and validates its flag
+/// combinations: `--window` belongs to `--backend window` (which
+/// requires it) and `--half-life` to `--backend decay` (likewise);
+/// anything else is a usage error (exit 2).
+fn parse_backend(flags: &HashMap<String, String>) -> Result<Backend, String> {
+    let name = flags
+        .get("backend")
+        .map(String::as_str)
+        .unwrap_or("insertion");
+    match name {
+        "insertion" => {
+            if flags.contains_key("window") {
+                return Err("--window requires --backend window".into());
+            }
+            if flags.contains_key("half-life") {
+                return Err("--half-life requires --backend decay".into());
+            }
+            Ok(Backend::Insertion)
+        }
+        "window" => {
+            if flags.contains_key("half-life") {
+                return Err("--half-life requires --backend decay".into());
+            }
+            let w: u64 = parse(flags, "window")?;
+            if w == 0 {
+                return Err("--window must be at least 1".into());
+            }
+            Ok(Backend::Window(w))
+        }
+        "decay" => {
+            if flags.contains_key("window") {
+                return Err("--window requires --backend window".into());
+            }
+            let h: f64 = parse(flags, "half-life")?;
+            if !(h.is_finite() && h > 0.0) {
+                return Err(format!("--half-life must be positive and finite, got {h}"));
+            }
+            Ok(Backend::Decay(h))
+        }
+        other => Err(format!(
+            "--backend must be insertion, window or decay, got `{other}`"
+        )),
+    }
 }
 
 /// Flags that take no value: presence is the value.

@@ -20,12 +20,12 @@
 //! | [`coreset`] | mini-ball coverings: `MBCConstruction` (Alg. 1), `UpdateCoreset` (Alg. 4), index-accelerated sweeps, composition lemmas, validators |
 //! | [`mpc`] | MPC simulator + the 2-round (Alg. 2), randomized 1-round (Alg. 6), R-round (Alg. 7) algorithms and the CPP19 baseline |
 //! | [`streaming`] | insertion-only (Alg. 3), fully dynamic (Alg. 5), sliding-window structures and streaming baselines |
-//! | [`engine`] | shared execution runtime (persistent worker pool) + the resident sharded ingest engine (`kcz engine`) built on [`coreset::MergeableSummary`], with memoized epoch publication (`publish`/`latest`) |
-//! | [`serve`] | the read side: immutable published [`serve::SnapshotView`]s, the [`serve::QueryEngine`] (`assign`/`classify`/`nearest_centers` + pool-batched variants, `kcz query`), and the mixed read/write [`serve::LoadDriver`] |
+//! | [`engine`] | shared execution runtime (persistent worker pool) + the resident sharded ingest engine (`kcz engine`) built on [`coreset::MergeableSummary`], with memoized epoch publication (`publish`/`latest`) and pluggable per-shard backends ([`engine::ShardBackend`]: insertion-only, sliding-window, exponential decay) |
+//! | [`serve`] | the read side: immutable published [`serve::SnapshotView`]s (centers + bound + the epoch's arrival clock and live window span), the [`serve::QueryEngine`] (`assign`/`classify`/`nearest_centers` + pool-batched variants, `kcz query`), and the mixed read/write [`serve::LoadDriver`] |
 //! | [`sketch`] | turnstile substrates: s-sparse recovery, F₀ estimation with deletions |
 //! | [`lowerbounds`] | the paper's lower-bound constructions as adversarial generators |
 //! | [`workloads`] | reproducible synthetic data, partitions, stream schedules, adversarial generators |
-//! | [`harness`] | cross-model conformance: scenario catalog, `Pipeline` adapters for all ten pipelines, oracle-checked ratio bounds, served-answer query conformance (`kcz conformance`) |
+//! | [`harness`] | cross-model conformance: scenario catalog, `Pipeline` adapters for all ten pipelines, oracle-checked ratio bounds, served-answer query conformance, churn-backend certification (`kcz conformance`) |
 //!
 //! ## Quickstart
 //!
@@ -65,10 +65,10 @@ pub mod prelude {
         end_to_end_factor, mbc_construction, streaming_capacity, update_coreset, MergeableSummary,
         MiniBallCovering,
     };
-    pub use kcz_engine::{Engine, EngineConfig, EngineStats, Snapshot};
+    pub use kcz_engine::{Backend, Engine, EngineConfig, EngineStats, ShardBackend, Snapshot};
     pub use kcz_harness::{
-        all_pipelines, catalog, f32_violations, incremental_violations, query_violations,
-        run_conformance, ConformanceReport, Pipeline, Scenario, Tier, Verdict,
+        all_pipelines, catalog, churn_violations, f32_violations, incremental_violations,
+        query_violations, run_conformance, ConformanceReport, Pipeline, Scenario, Tier, Verdict,
     };
     pub use kcz_kcenter::{
         cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,
@@ -87,10 +87,12 @@ pub mod prelude {
     pub use kcz_streaming::{
         baselines::{ceccarello_stream, mk_doubling},
         DoublingCoreset, DynamicCoreset, InsertionOnlyCoreset, SlidingWindowCoreset,
+        SwStampedQuery,
     };
     pub use kcz_workloads::{
         annulus, churn_schedule, colinear, concentrated_partition, drifting_stream,
-        duplicate_heavy, gaussian_clusters, grid_clusters, mixed_trace, outlier_burst, query_trace,
-        random_partition, round_robin, shuffled, two_scale_clusters, uniform_box, TraceOp,
+        duplicate_heavy, gaussian_clusters, grid_clusters, mixed_trace, outlier_burst,
+        phase_shift_stream, query_trace, random_partition, round_robin, shuffled,
+        two_scale_clusters, uniform_box, TraceOp,
     };
 }

@@ -876,6 +876,188 @@ fn engine_precision_f32_golden_and_f64_default_identity() {
 }
 
 #[test]
+fn engine_window_golden_output_on_committed_fixture() {
+    // `--backend window --window 8` expires the three oldest arrivals of
+    // the committed fixture (weighted rows occupy one stamp each, so the
+    // clock reads 11 while `points` counts weight 14): the origin
+    // cluster loses its corners and the nearest live location `1,1`
+    // becomes a center.  The whole path is deterministic, so the full
+    // stdout is pinned byte-for-byte — the same stream the CI
+    // `churn-smoke` step diffs.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_window_golden.txt"
+    );
+    let out = kcz()
+        .args([
+            "engine",
+            "--input",
+            fixture,
+            "--shards",
+            "4",
+            "--batch",
+            "4",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--backend",
+            "window",
+            "--window",
+            "8",
+        ])
+        .output()
+        .expect("run kcz engine");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let expected = std::fs::read_to_string(golden).unwrap();
+    assert_eq!(
+        stdout, expected,
+        "windowed snapshot drifted from the committed golden \
+         (tests/fixtures/engine_window_golden.txt); regenerate it with \
+         `kcz engine --input tests/fixtures/golden.csv --shards 4 \
+         --batch 4 --k 2 --z 1 --eps 0.5 --backend window --window 8` \
+         if the change is intentional"
+    );
+    // The windowed epoch reports its live stamp span and the widened ε′
+    // (one extra ε on top of the ⌈log₂ 4⌉ merge generations).
+    assert!(stdout.contains("live_span=4..11"), "{stdout}");
+    assert!(stdout.contains("effective_eps: 1.500000"), "{stdout}");
+    // `--backend insertion` is the default spelled out: byte-identical
+    // to the pre-backend engine golden.
+    let explicit = kcz()
+        .args([
+            "engine",
+            "--input",
+            fixture,
+            "--shards",
+            "4",
+            "--batch",
+            "256",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--backend",
+            "insertion",
+        ])
+        .output()
+        .unwrap();
+    assert!(explicit.status.success());
+    let insertion_golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_golden.txt"
+    ))
+    .unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&explicit.stdout),
+        insertion_golden,
+        "explicit --backend insertion must match the default-mode golden"
+    );
+    // Decay mode runs end to end and reports its backend line.
+    let decay = kcz()
+        .args([
+            "engine",
+            "--input",
+            fixture,
+            "--shards",
+            "4",
+            "--batch",
+            "4",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--backend",
+            "decay",
+            "--half-life",
+            "32",
+        ])
+        .output()
+        .unwrap();
+    assert!(decay.status.success());
+    let decay_out = String::from_utf8_lossy(&decay.stdout);
+    assert!(
+        decay_out.contains("backend: decay  half_life=32  clock=11"),
+        "{decay_out}"
+    );
+}
+
+#[test]
+fn engine_rejects_bad_backend_flags() {
+    // Unknown backends and orphaned/conflicting time flags: clean exit
+    // 2 with the diagnostic on the first stderr line, never a silent
+    // insertion-mode run.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let base = [
+        "engine", "--shards", "2", "--batch", "4", "--k", "1", "--z", "0", "--eps", "0.5",
+    ];
+    for (extra, needle) in [
+        (
+            vec!["--backend", "bogus"],
+            "--backend must be insertion, window or decay",
+        ),
+        (vec!["--backend", "window"], "missing --window"),
+        (vec!["--backend", "decay"], "missing --half-life"),
+        (vec!["--window", "8"], "--window requires --backend window"),
+        (
+            vec!["--half-life", "32"],
+            "--half-life requires --backend decay",
+        ),
+        (
+            vec!["--backend", "insertion", "--window", "8"],
+            "--window requires --backend window",
+        ),
+        (
+            vec!["--backend", "window", "--window", "8", "--half-life", "32"],
+            "--half-life requires --backend decay",
+        ),
+        (
+            vec!["--backend", "decay", "--half-life", "32", "--window", "8"],
+            "--window requires --backend window",
+        ),
+        (
+            vec!["--backend", "window", "--window", "0"],
+            "--window must be at least 1",
+        ),
+        (
+            vec!["--backend", "window", "--window", "oops"],
+            "invalid value `oops` for --window",
+        ),
+        (
+            vec!["--backend", "decay", "--half-life", "0"],
+            "--half-life must be positive and finite",
+        ),
+        (
+            vec!["--backend", "decay", "--half-life", "inf"],
+            "--half-life must be positive and finite",
+        ),
+    ] {
+        let mut cmd = kcz();
+        cmd.args(base).args(["--input", fixture]).args(&extra);
+        let out = cmd.output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{extra:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{extra:?}: {stderr}");
+        assert!(
+            stderr.lines().next().unwrap().contains(needle),
+            "diagnostic must be on the first line: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn engine_rejects_bad_flags() {
     let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
     for (args, needle) in [
