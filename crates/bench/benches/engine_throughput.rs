@@ -20,7 +20,7 @@
 //! representative from the summary's pairwise-distance scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use kcz_engine::{Engine, EngineConfig};
+use kcz_engine::{Engine, EngineConfig, SolverMode};
 use kcz_metric::{Precision, L2};
 use kcz_streaming::InsertionOnlyCoreset;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -165,14 +165,20 @@ fn bench_engine(c: &mut Criterion) {
     // resident serving steady state.  Incremental re-merges only the
     // dirty root-to-leaf path of the merge tree (≤ ⌈log₂ shards⌉ pair
     // merges instead of shards − 1) and clones only the dirty shard;
-    // full rebuilds the whole tree every publish.  Both solve the same
-    // merged bits warm-started from the canonical hint, so the
-    // snapshots are bit-identical — the delta is pure re-merge cost.
+    // full rebuilds the whole tree every publish.  All modes produce
+    // bit-identical snapshots; `incremental` runs the default
+    // delta-aware solver (feasibility probes answered from certified
+    // cached verdicts), `incremental_cold` isolates its win by forcing
+    // a from-scratch solve on the same re-merge path.
     let mut g = c.benchmark_group("engine_republish");
     g.sample_size(10);
-    for (label, full) in [("incremental", false), ("full", true)] {
+    for (label, solver, full) in [
+        ("incremental", SolverMode::Delta, false),
+        ("incremental_cold", SolverMode::Cold, false),
+        ("full", SolverMode::Delta, true),
+    ] {
         g.bench_function(BenchmarkId::new(label, 8), |b| {
-            let mut cfg = EngineConfig::new(8, K, Z, EPS);
+            let mut cfg = EngineConfig::new(8, K, Z, EPS).with_solver(solver);
             if full {
                 cfg = cfg.full_republish();
             }
@@ -185,6 +191,29 @@ fn bench_engine(c: &mut Criterion) {
             b.iter(|| {
                 engine.ingest(&[site_point(i % SITES)]);
                 i += 1;
+                black_box(engine.publish().epoch)
+            });
+        });
+    }
+    // Delta-size sweep: D points ingested between publishes.  At D = 1
+    // the merged summary moves by a single weight bump and nearly every
+    // feasibility verdict re-certifies; as D grows the delta adds fresh
+    // representatives, certificates start failing, and the solver
+    // degrades gracefully toward the cold cost.  D ≥ 64 also dirties
+    // several of the 8 value-hash shards per publish (the multi-dirty-
+    // shard case), so the sweep covers re-merge width as well.
+    for d in [1usize, 64, 4096] {
+        g.bench_function(BenchmarkId::new("delta_sweep", d), |b| {
+            let engine = Engine::new(L2, EngineConfig::new(8, K, Z, EPS));
+            for batch in stream[..200_000].chunks(4096) {
+                engine.ingest(batch);
+            }
+            engine.publish();
+            let mut i = 0usize;
+            b.iter(|| {
+                let batch: Vec<[f64; 2]> = (0..d).map(|j| site_point((i + j) % SITES)).collect();
+                engine.ingest(&batch);
+                i += d;
                 black_box(engine.publish().epoch)
             });
         });

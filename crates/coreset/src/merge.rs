@@ -67,6 +67,14 @@ impl<P: Clone + SpaceUsage> MergeableSummary for MiniBallCovering<P> {
     /// (ε,k,z)-covering of the combined input whenever the parts'
     /// per-part optima are bounded by the combined optimum — the
     /// precondition every MPC round arranges before unioning.
+    ///
+    /// Concatenation also makes representative *order* a pure function
+    /// of the tree shape and each leaf's internal order.  The engine's
+    /// delta-aware solver leans on this: when an ingest only bumps
+    /// weights (every absorb lands on an existing representative), the
+    /// re-merged summary lists the same representatives at the same
+    /// positions, so the solver's cached candidate ladder and distance
+    /// matrix remain valid verbatim.
     fn merge(&mut self, other: Self) {
         self.reps.extend(other.reps);
         self.mini_radius = self.mini_radius.max(other.mini_radius);
@@ -241,6 +249,42 @@ mod tests {
         let merged = merge_tree(parts).expect("non-empty");
         assert_eq!(total_weight(&merged.reps), 50);
         assert!(merge_tree(Vec::<MiniBallCovering<[f64; 2]>>::new()).is_none());
+    }
+
+    #[test]
+    fn weight_only_bumps_preserve_merged_representative_order() {
+        // The delta-aware solver's pure-bump fast path assumes that if
+        // no leaf gained or lost a representative, the merged summary's
+        // representative positions are bit-identical and only weights
+        // moved.  Union merging is concatenation, so this must hold for
+        // any leaf's weights bumped by any amount.
+        let parts: Vec<MiniBallCovering<[f64; 2]>> = (0..5)
+            .map(|s| {
+                let pts: Vec<[f64; 2]> = (0..8)
+                    .map(|i| [s as f64 * 100.0 + i as f64 * 5.0, 0.0])
+                    .collect();
+                covering_of(&pts, 0.5)
+            })
+            .collect();
+        let before = merge_tree(parts.clone()).expect("non-empty");
+        let mut bumped = parts;
+        bumped[1].reps[3].weight += 7;
+        bumped[4].reps[0].weight += 1;
+        let after = merge_tree(bumped).expect("non-empty");
+        assert_eq!(before.reps.len(), after.reps.len());
+        for (i, (b, a)) in before.reps.iter().zip(&after.reps).enumerate() {
+            assert_eq!(
+                b.point.map(f64::to_bits),
+                a.point.map(f64::to_bits),
+                "rep {i} moved position under a weight-only bump"
+            );
+            assert!(a.weight >= b.weight, "rep {i} lost weight");
+        }
+        assert_eq!(
+            total_weight(&after.reps),
+            total_weight(&before.reps) + 8,
+            "exactly the bumped mass arrives"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! bound the conformance harness checks.
 
 use kcz_coreset::{end_to_end_factor, tree_depth, MergeableSummary};
-use kcz_kcenter::{farthest_first, greedy_with, GreedyParams};
+use kcz_kcenter::{farthest_first, greedy_stateful, greedy_with, GreedyParams, SolveState};
 use kcz_metric::{MetricSpace, Precision, SpaceUsage, Weighted};
 use kcz_streaming::InsertionOnlyCoreset;
 use kcz_workloads::{HashPartitioner, ShardKey};
@@ -36,6 +36,19 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 
 use crate::backend::{AnyShard, Backend, ShardBackend};
 use crate::runtime::{global, Pool};
+
+/// Which Charikar solver the publish path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverMode {
+    /// Every publish re-solves the merged summary from scratch.
+    Cold,
+    /// The delta-aware solve ([`kcz_kcenter::greedy_stateful`]): a
+    /// persistent [`SolveState`] re-certifies the previous epoch's
+    /// feasibility verdicts against the summary delta and re-runs only
+    /// what the certificates cannot absorb.  Bit-identical to
+    /// [`SolverMode::Cold`] by construction — the default.
+    Delta,
+}
 
 /// Construction parameters of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +84,9 @@ pub struct EngineConfig {
     /// window and decay stages widen the published ε′ by one extra ε
     /// ([`Backend::extra_eps`]).
     pub backend: Backend,
+    /// Which Charikar solver the publish path runs (see [`SolverMode`];
+    /// both modes publish bit-identical snapshots).
+    pub solver: SolverMode,
 }
 
 impl EngineConfig {
@@ -86,6 +102,7 @@ impl EngineConfig {
             incremental: true,
             precision: Precision::F64,
             backend: Backend::Insertion,
+            solver: SolverMode::Delta,
         }
     }
 
@@ -108,6 +125,13 @@ impl EngineConfig {
     /// Sets the per-shard backend (see [`EngineConfig::backend`]).
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the publish-path Charikar solver (see
+    /// [`EngineConfig::solver`]).
+    pub fn with_solver(mut self, solver: SolverMode) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -144,6 +168,12 @@ pub struct EngineStats {
     pub merge_transient_words: usize,
     /// Words of the merged summary the snapshot solved on.
     pub summary_words: usize,
+    /// Feasibility probes (`disk_greedy` runs) the epoch's solve spent.
+    pub solve_probes: usize,
+    /// Probes the delta-aware solve answered from re-certified cached
+    /// verdicts instead of `disk_greedy` runs (always `0` under
+    /// [`SolverMode::Cold`]).
+    pub reused_verdicts: usize,
 }
 
 /// One epoch-numbered, fully merged view of everything ingested.
@@ -160,6 +190,10 @@ pub struct Snapshot<P> {
     pub radius_bound: f64,
     /// Summary weight left uncovered by the solve (≤ `z`).
     pub uncovered: u64,
+    /// The feasible guess `r̂` the radius search settled on
+    /// (`radius ≤ 3·r̂`) — part of the bit-identity surface the solver
+    /// conformance pass compares across delta/cold/scratch solves.
+    pub guess: f64,
     /// The ε′ the merged summary certifies: `ε` for one shard, widened
     /// by `ε/2` per merge generation (⌈log₂ shards⌉ of them).
     pub effective_eps: f64,
@@ -193,7 +227,7 @@ impl<P> Snapshot<P> {
 
 impl<P: SpaceUsage> SpaceUsage for Snapshot<P> {
     fn words(&self) -> usize {
-        self.centers.iter().map(SpaceUsage::words).sum::<usize>() + self.coreset.words() + 6
+        self.centers.iter().map(SpaceUsage::words).sum::<usize>() + self.coreset.words() + 7
     }
 }
 
@@ -321,6 +355,12 @@ pub struct Engine<P, M: MetricSpace<P>> {
     /// publish so a panicking solve leaves `None` and the next publish
     /// rebuilds cold.
     tree_cache: Mutex<Option<TreeCache<P, M>>>,
+    /// The delta-aware solver's persistent state ([`SolverMode::Delta`]
+    /// only; always `None` under [`SolverMode::Cold`]).  Taken out for
+    /// the duration of a solve so a panic leaves `None` and the next
+    /// publish solves cold — and left untouched by elided publishes,
+    /// whose summaries are bit-identical to the one the state tracks.
+    solve_state: Mutex<Option<SolveState<P>>>,
     /// Largest merge transient observed over all snapshots.
     peak_merge_transient: AtomicUsize,
     pool: &'static Pool,
@@ -328,7 +368,7 @@ pub struct Engine<P, M: MetricSpace<P>> {
 
 impl<P, M> Engine<P, M>
 where
-    P: Clone + SpaceUsage + ShardKey + Send + Sync,
+    P: Clone + PartialEq + SpaceUsage + ShardKey + Send + Sync,
     M: MetricSpace<P> + Clone,
 {
     /// Builds the engine: `cfg.shards` empty insertion-only summaries,
@@ -374,6 +414,7 @@ where
             elisions: AtomicU64::new(0),
             publish_order: Mutex::new(()),
             tree_cache: Mutex::new(None),
+            solve_state: Mutex::new(None),
             peak_merge_transient: AtomicUsize::new(0),
             pool: global(),
             cfg,
@@ -750,13 +791,33 @@ where
         } else {
             GreedyParams::default()
         };
-        let sol = greedy_with(
-            &self.metric,
-            merged.coreset(),
-            self.cfg.k,
-            self.cfg.z,
-            &params,
-        );
+        let sol = match self.cfg.solver {
+            SolverMode::Cold => greedy_with(
+                &self.metric,
+                merged.coreset(),
+                self.cfg.k,
+                self.cfg.z,
+                &params,
+            ),
+            SolverMode::Delta => {
+                // Take the state out for the duration: a panicking solve
+                // leaves `None` and the next publish solves cold.  The
+                // hint above is already the canonical function of the
+                // merged bits, so the stateful solve retraces exactly
+                // the search a cold solve would run.
+                let mut state = lock_recover(&self.solve_state).take();
+                let sol = greedy_stateful(
+                    &self.metric,
+                    merged.coreset(),
+                    self.cfg.k,
+                    self.cfg.z,
+                    &params,
+                    &mut state,
+                );
+                *lock_recover(&self.solve_state) = state;
+                sol
+            }
+        };
         // ε′ composition: the merged root accounts the leaf ε and the
         // per-generation widening; the window / decay stage sits in
         // front of the leaves and adds its own ε (zero for insertion —
@@ -772,6 +833,7 @@ where
             radius: sol.radius,
             radius_bound,
             uncovered: sol.uncovered,
+            guess: sol.guess,
             effective_eps,
             bound_factor: end_to_end_factor(effective_eps),
             clock: now,
@@ -783,6 +845,8 @@ where
                 shard_peak_words,
                 merge_transient_words,
                 summary_words: merged.space_words(),
+                solve_probes: sol.probes,
+                reused_verdicts: sol.reused_verdicts,
             },
             coreset: merged.coreset().to_vec(),
         };

@@ -20,6 +20,8 @@
 //! matrix-free path answers ball queries with `cover_weight` /
 //! `within_indices` (deferred `sqrt`) instead of per-point `dist` calls.
 
+use std::collections::BTreeMap;
+
 use kcz_metric::{ColumnSet, MetricSpace, Precision, Weighted};
 
 use crate::cost::cost_with_outliers;
@@ -82,6 +84,10 @@ pub struct GreedySolution<P> {
     /// spent — the observable a warm start shrinks (the result itself is
     /// hint-independent).
     pub probes: usize,
+    /// Probes answered from a re-certified [`SolveState`] verdict instead
+    /// of a `disk_greedy` run — the observable the delta-aware solve
+    /// grows (always `0` for the stateless entry points).
+    pub reused_verdicts: usize,
 }
 
 /// `Greedy(P, k, z)` with default parameters.  See [`greedy_with`].
@@ -114,6 +120,7 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
             guess: 0.0,
             uncovered: total,
             probes: 0,
+            reused_verdicts: 0,
         };
     }
     assert!(k > 0, "k must be positive when weight must be covered");
@@ -158,6 +165,7 @@ pub fn greedy_with<P: Clone, M: MetricSpace<P>>(
         guess,
         uncovered,
         probes,
+        reused_verdicts: 0,
     }
 }
 
@@ -283,15 +291,27 @@ struct DistOracle<'a, P, M> {
 
 impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
     fn new(metric: &'a M, pts: &'a [P], use_matrix: bool) -> Self {
+        Self::with_matrix(metric, pts, use_matrix, None)
+    }
+
+    /// Like [`DistOracle::new`], but reuses `prior` as the matrix when it
+    /// matches `pts` in size.  The caller certifies that `prior` was
+    /// computed on *bit-identical positions* (the delta solve's pure
+    /// weight-bump path); a mismatched or absent prior rebuilds exactly
+    /// as `new` does, so the oracle's answers never depend on it.
+    fn with_matrix(metric: &'a M, pts: &'a [P], use_matrix: bool, prior: Option<Vec<f64>>) -> Self {
         let n = pts.len();
-        let matrix = use_matrix.then(|| {
-            let mut m = Vec::with_capacity(n * n);
-            let mut row = Vec::new();
-            for p in pts {
-                metric.dist_many(p, pts, &mut row);
-                m.extend_from_slice(&row);
+        let matrix = use_matrix.then(|| match prior {
+            Some(m) if m.len() == n * n => m,
+            _ => {
+                let mut m = Vec::with_capacity(n * n);
+                let mut row = Vec::new();
+                for p in pts {
+                    metric.dist_many(p, pts, &mut row);
+                    m.extend_from_slice(&row);
+                }
+                m
             }
-            m
         });
         let cols = if matrix.is_none() {
             metric.build_columns(pts, Precision::F64)
@@ -308,6 +328,13 @@ impl<'a, P, M: MetricSpace<P>> DistOracle<'a, P, M> {
 
     fn len(&self) -> usize {
         self.pts.len()
+    }
+
+    /// Hand the distance matrix (if any) back to the caller so a future
+    /// pure weight-bump solve on the same positions can skip the
+    /// `O(n²)` rebuild.
+    fn into_matrix(self) -> Option<Vec<f64>> {
+        self.matrix
     }
 
     /// Distances from point `i` to every point, as a slice (matrix row or
@@ -439,16 +466,92 @@ fn disk_greedy<P, M: MetricSpace<P>>(
     z: u64,
     r: f64,
 ) -> Option<Vec<usize>> {
+    disk_greedy_recorded(oracle, weights, k, z, r).verdict()
+}
+
+/// Why one [`disk_greedy`] run stopped picking centers.  The delta
+/// re-certification treats each case differently — see
+/// [`SolveState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Termination {
+    /// All `k` picks were made; the verdict is whatever the final
+    /// uncovered weight says.
+    Exhausted,
+    /// Uncovered weight dropped to ≤ `z` before `k` picks (always
+    /// feasible).
+    Slack,
+    /// Every remaining `r`-ball gain hit `0` before `k` picks (always
+    /// infeasible: more centers cannot help).
+    ZeroGain,
+}
+
+/// One center pick of a recorded [`disk_greedy`] run, with the margin
+/// data the delta re-certification needs: a lower bound on the pick's
+/// own gain and an upper bound on every competing gain at pick time.
+/// Both degrade conservatively across reuse generations (the gain stays
+/// the stale recorded value, the runner-up absorbs each epoch's new
+/// mass), so a reused record only ever gets *harder* to re-certify —
+/// never unsound.
+#[derive(Debug, Clone)]
+struct Pick {
+    /// Point index of the pick, in the current summary's indexing.
+    index: usize,
+    /// Lower bound on the pick's uncovered-weight gain at pick time.
+    gain: u64,
+    /// Upper bound on every *other* point's gain at pick time.
+    runner_up: u64,
+}
+
+/// Certified record of one [`disk_greedy`] probe: the full pick
+/// sequence with margins, the final coverage set, the final uncovered
+/// weight and the termination reason — everything needed to prove that
+/// re-running the probe on a weight-grown summary would retrace the
+/// identical picks and land on a known verdict.
+#[derive(Debug, Clone)]
+struct ProbeRecord {
+    picks: Vec<Pick>,
+    /// Final coverage flags, indexed like the summary the record was
+    /// last certified against.
+    covered: Vec<bool>,
+    /// Final uncovered weight (exact — the delta path only runs when
+    /// totals are overflow-free).
+    uncovered: u64,
+    term: Termination,
+    /// Outlier budget the record was taken against (verdict = `uncovered
+    /// ≤ z`).
+    z: u64,
+}
+
+impl ProbeRecord {
+    /// The probe's verdict in [`disk_greedy`]'s return convention.
+    fn verdict(&self) -> Option<Vec<usize>> {
+        (self.uncovered <= self.z).then(|| self.picks.iter().map(|p| p.index).collect())
+    }
+}
+
+/// [`disk_greedy`] with certificate extraction: identical pick-by-pick
+/// behaviour (same argmax, same tie-break, same break conditions), plus
+/// a second scan per pick for the runner-up margin and the final
+/// coverage state.
+fn disk_greedy_recorded<P, M: MetricSpace<P>>(
+    oracle: &DistOracle<'_, P, M>,
+    weights: &[u64],
+    k: usize,
+    z: u64,
+    r: f64,
+) -> ProbeRecord {
     let n = weights.len();
     let mut covered = vec![false; n];
     let mut uncovered_total: u64 = weights.iter().fold(0u64, |a, &w| a.saturating_add(w));
     // gain[p] = uncovered weight within distance r of p.
     let mut gain: Vec<u64> = (0..n).map(|p| oracle.cover_weight(p, weights, r)).collect();
-    let mut centers = Vec::with_capacity(k);
+    let mut picks: Vec<Pick> = Vec::with_capacity(k);
     let mut ball = Vec::new();
     let mut shrink = Vec::new();
+    let mut term = Termination::Exhausted;
     for _ in 0..k {
         if uncovered_total <= z {
+            term = Termination::Slack;
             break;
         }
         let (best, &g) = gain
@@ -458,9 +561,21 @@ fn disk_greedy<P, M: MetricSpace<P>>(
             .expect("non-empty gains");
         if g == 0 {
             // No r-ball covers any uncovered weight; more centers cannot help.
+            term = Termination::ZeroGain;
             break;
         }
-        centers.push(best);
+        let runner_up = gain
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p != best)
+            .map(|(_, &g)| g)
+            .max()
+            .unwrap_or(0);
+        picks.push(Pick {
+            index: best,
+            gain: g,
+            runner_up,
+        });
         oracle.within_row(best, 3.0 * r, &mut ball);
         for &q in &ball {
             if !covered[q] {
@@ -474,10 +589,396 @@ fn disk_greedy<P, M: MetricSpace<P>>(
             }
         }
     }
-    if uncovered_total <= z {
-        Some(centers)
-    } else {
-        None
+    ProbeRecord {
+        picks,
+        covered,
+        uncovered: uncovered_total,
+        term,
+        z,
+    }
+}
+
+/// Persistent state of the delta-aware solve ([`greedy_stateful`]): the
+/// previous solve's summary, candidate radius ladder, per-probe
+/// feasibility records (keyed by the candidate's `f64` bits, so they
+/// survive ladder recomputation) and — when positions were unchanged —
+/// the distance matrix.
+///
+/// The contract is *bit-identity by construction*: a stateful solve
+/// answers each radius probe either by actually running `disk_greedy`
+/// or by a cached record whose certificates prove `disk_greedy` would
+/// retrace the identical pick sequence and verdict on the new summary.
+/// The radius search itself is the very same `warm_search` /
+/// `lowest_feasible` code the cold solve runs, so the settled guess,
+/// centers, radius and uncovered weight are the cold solve's bits —
+/// only the probe *cost* changes.
+pub struct SolveState<P> {
+    k: usize,
+    z: u64,
+    /// Ladder/matrix knobs the records were taken under; any change
+    /// falls back to a cold solve (the warm hint is *not* part of the
+    /// key — it only reorders probes).
+    exact_candidates_max_n: usize,
+    geometric_step_bits: u64,
+    matrix_max_n: usize,
+    points: Vec<P>,
+    weights: Vec<u64>,
+    candidates: Vec<f64>,
+    records: BTreeMap<u64, ProbeRecord>,
+    /// Distance matrix of `points` (when `n ≤ matrix_max_n`), handed
+    /// back to the next pure weight-bump solve.
+    matrix: Option<Vec<f64>>,
+}
+
+impl<P> SolveState<P> {
+    /// Number of retained probe records (primarily for tests).
+    pub fn records(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// How the new summary differs from [`SolveState::points`]: every old
+/// representative reappears in order with equal-or-bumped weight, plus
+/// zero or more added representatives.  Any other shape (removals,
+/// weight decreases, reorders) fails the diff and the solve runs cold.
+struct SummaryDelta {
+    /// `(old index, weight increase)` for each weight-bumped survivor.
+    bumped: Vec<(usize, u64)>,
+    /// New-summary indices of added representatives.
+    adds: Vec<usize>,
+    /// Old-summary index → new-summary index for every survivor.
+    old_to_new: Vec<usize>,
+    /// Total new mass: Σ bumps + Σ added weights (the `Δ⁺` every
+    /// certificate budgets against).
+    new_mass: u64,
+    /// No adds: positions are bit-identical, so the ladder and matrix
+    /// carry over outright.
+    pure_bump: bool,
+}
+
+/// Greedy ordered-subsequence match of the old summary inside the new
+/// one.  Any valid decomposition is sound — the certificates reason
+/// about weight multisets, not provenance — so the first match wins.
+fn classify_delta<P: PartialEq>(
+    st: &SolveState<P>,
+    pts: &[P],
+    weights: &[u64],
+    k: usize,
+    z: u64,
+    params: &GreedyParams,
+) -> Option<SummaryDelta> {
+    if st.k != k
+        || st.z != z
+        || st.exact_candidates_max_n != params.exact_candidates_max_n
+        || st.geometric_step_bits != params.geometric_step.to_bits()
+        || st.matrix_max_n != params.matrix_max_n
+    {
+        return None;
+    }
+    let mut old_to_new = vec![0usize; st.points.len()];
+    let mut bumped = Vec::new();
+    let mut adds = Vec::new();
+    let mut new_mass = 0u64;
+    let mut i = 0usize;
+    for (j, p) in pts.iter().enumerate() {
+        if i < st.points.len() && st.points[i] == *p && weights[j] >= st.weights[i] {
+            if weights[j] > st.weights[i] {
+                let d = weights[j] - st.weights[i];
+                bumped.push((i, d));
+                new_mass = new_mass.checked_add(d)?;
+            }
+            old_to_new[i] = j;
+            i += 1;
+        } else {
+            adds.push(j);
+            new_mass = new_mass.checked_add(weights[j])?;
+        }
+    }
+    if i < st.points.len() {
+        // Some old representative vanished (or shrank, or moved out of
+        // order): the delta can only *remove* certified coverage, which
+        // no certificate survives.  Run cold.
+        return None;
+    }
+    Some(SummaryDelta {
+        pure_bump: adds.is_empty(),
+        bumped,
+        adds,
+        old_to_new,
+        new_mass,
+    })
+}
+
+/// Re-certify one probe record against the delta, or drop it.
+///
+/// The certificates, each of which a cold `disk_greedy` on the new
+/// summary provably satisfies when they all hold:
+///
+/// * **Pick margins** — every recorded pick's gain strictly exceeds its
+///   recorded runner-up plus the whole new mass `Δ⁺`.  New gains only
+///   grow, and by at most `Δ⁺`, so the pick stays the *unique* argmax at
+///   its step (strictness makes the certificate tie-break- and
+///   index-order-proof).
+/// * **Added-rep containment** — every added representative's initial
+///   gain (all mass uncovered) stays strictly below the smallest
+///   recorded pick gain, so no added point can out-bid a pick at any
+///   step.
+/// * **Coverage accounting** — the new uncovered weight is computed
+///   *exactly*: bumps on uncovered survivors plus added reps outside
+///   every pick's `3r` ball (membership asked of the same oracle
+///   `disk_greedy` would use, so boundary ties agree bit-for-bit).
+/// * **Termination** — `Slack` records must still reach `uncovered ≤ z`
+///   (else the new run would keep picking); `ZeroGain` records must see
+///   zero new uncovered mass (else some gain became positive);
+///   `Exhausted` records just take the recomputed verdict.
+///
+/// A surviving record keeps its stale pick gains as lower bounds and
+/// absorbs `Δ⁺` (and the added reps' gains) into its runner-up upper
+/// bounds, so chained reuse across epochs stays sound by induction.
+fn update_record<P, M: MetricSpace<P>>(
+    rec: &ProbeRecord,
+    r: f64,
+    delta: &SummaryDelta,
+    oracle: &DistOracle<'_, P, M>,
+    weights: &[u64],
+    z: u64,
+) -> Option<ProbeRecord> {
+    // Pick margins under the whole new mass.
+    for pick in &rec.picks {
+        if pick.gain <= pick.runner_up.saturating_add(delta.new_mass) {
+            return None;
+        }
+    }
+    // Added-rep containment.
+    let mut max_add_gain = 0u64;
+    if !delta.adds.is_empty() {
+        let min_gain = rec.picks.iter().map(|p| p.gain).min()?;
+        for &a in &delta.adds {
+            let g = oracle.cover_weight(a, weights, r);
+            if g >= min_gain {
+                return None;
+            }
+            max_add_gain = max_add_gain.max(g);
+        }
+    }
+    // Exact coverage accounting for the new mass.
+    let n_new = weights.len();
+    let mut covered = vec![false; n_new];
+    for (old_idx, &new_idx) in delta.old_to_new.iter().enumerate() {
+        covered[new_idx] = rec.covered[old_idx];
+    }
+    let mut fresh_uncovered = 0u64;
+    for &(old_idx, bump) in &delta.bumped {
+        if !rec.covered[old_idx] {
+            fresh_uncovered += bump;
+        }
+    }
+    if !delta.adds.is_empty() {
+        let mut ball = Vec::new();
+        let mut in_ball = vec![false; n_new];
+        for pick in &rec.picks {
+            oracle.within_row(delta.old_to_new[pick.index], 3.0 * r, &mut ball);
+            for &q in &ball {
+                in_ball[q] = true;
+            }
+        }
+        for &a in &delta.adds {
+            if in_ball[a] {
+                covered[a] = true;
+            } else {
+                fresh_uncovered += weights[a];
+            }
+        }
+    }
+    let uncovered = rec.uncovered + fresh_uncovered;
+    match rec.term {
+        Termination::Exhausted => {}
+        Termination::Slack => {
+            if uncovered > z {
+                return None;
+            }
+        }
+        Termination::ZeroGain => {
+            if fresh_uncovered != 0 {
+                return None;
+            }
+        }
+    }
+    let picks = rec
+        .picks
+        .iter()
+        .map(|p| Pick {
+            index: delta.old_to_new[p.index],
+            gain: p.gain,
+            runner_up: p.runner_up.saturating_add(delta.new_mass).max(max_add_gain),
+        })
+        .collect();
+    Some(ProbeRecord {
+        picks,
+        covered,
+        uncovered,
+        term: rec.term,
+        z,
+    })
+}
+
+/// The delta-aware Charikar greedy: bit-identical to [`greedy_with`]
+/// (same searches, same probe semantics, same assembly) but retaining a
+/// [`SolveState`] across calls so a republish after a small summary
+/// delta answers most — on the pure weight-bump steady state, *all* —
+/// feasibility probes from re-certified records instead of `disk_greedy`
+/// runs.
+///
+/// Pass `state = None` for the first call (a recording cold solve);
+/// every call leaves the state ready for the next.  Any delta the
+/// certificates cannot absorb — removals, weight decreases, `k`/`z`/
+/// parameter changes, weight-total overflow — falls back to a recording
+/// cold solve, so the result is *always* the cold solve's bits.
+pub fn greedy_stateful<P, M>(
+    metric: &M,
+    points: &[Weighted<P>],
+    k: usize,
+    z: u64,
+    params: &GreedyParams,
+    state: &mut Option<SolveState<P>>,
+) -> GreedySolution<P>
+where
+    P: Clone + PartialEq,
+    M: MetricSpace<P>,
+{
+    let n = points.len();
+    let Some(total) = points.iter().try_fold(0u64, |a, p| a.checked_add(p.weight)) else {
+        // Saturated-weight regime: exact uncovered accounting (and thus
+        // every certificate) is off the table.  Match the stateless
+        // solve bit-for-bit and drop the state.
+        *state = None;
+        return greedy_with(metric, points, k, z, params);
+    };
+    if total <= z || n == 0 {
+        *state = None;
+        return GreedySolution {
+            centers: Vec::new(),
+            radius: 0.0,
+            guess: 0.0,
+            uncovered: total,
+            probes: 0,
+            reused_verdicts: 0,
+        };
+    }
+    assert!(k > 0, "k must be positive when weight must be covered");
+
+    let weights: Vec<u64> = points.iter().map(|p| p.weight).collect();
+    let pts: Vec<P> = points.iter().map(|p| p.point.clone()).collect();
+    let use_matrix = n <= params.matrix_max_n;
+
+    let prior = state.take();
+    let delta = prior
+        .as_ref()
+        .and_then(|st| classify_delta(st, &pts, &weights, k, z, params));
+
+    // Oracle + ladder + surviving records for this epoch.
+    let (oracle, candidates, mut records) = match (prior, delta) {
+        (Some(mut st), Some(delta)) => {
+            let oracle = if delta.pure_bump {
+                // Positions are bit-identical: the stored matrix *is*
+                // what a rebuild would produce.
+                DistOracle::with_matrix(metric, &pts, use_matrix, st.matrix.take())
+            } else {
+                DistOracle::new(metric, &pts, use_matrix)
+            };
+            let candidates = if delta.pure_bump {
+                // Same positions ⇒ same ladder, carried over outright.
+                std::mem::take(&mut st.candidates)
+            } else {
+                candidate_radii(&oracle, params)
+            };
+            let mut records = BTreeMap::new();
+            for (key, rec) in &st.records {
+                let r = f64::from_bits(*key);
+                if let Some(updated) = update_record(rec, r, &delta, &oracle, &weights, z) {
+                    records.insert(*key, updated);
+                }
+            }
+            (oracle, candidates, records)
+        }
+        _ => {
+            // Cold (but recording) solve: first call, or a delta the
+            // certificates cannot absorb.
+            let oracle = DistOracle::new(metric, &pts, use_matrix);
+            let candidates = candidate_radii(&oracle, params);
+            (oracle, candidates, BTreeMap::new())
+        }
+    };
+    debug_assert!(!candidates.is_empty());
+
+    let mut probes = 0usize;
+    let mut reused = 0usize;
+    {
+        let mut probe = |i: usize| {
+            let key = candidates[i].to_bits();
+            if let Some(rec) = records.get(&key) {
+                reused += 1;
+                return rec.verdict();
+            }
+            probes += 1;
+            let rec = disk_greedy_recorded(&oracle, &weights, k, z, candidates[i]);
+            let verdict = rec.verdict();
+            records.insert(key, rec);
+            verdict
+        };
+        let best = match params.warm_guess {
+            Some(g) => warm_search(&candidates, g, &mut probe),
+            None => lowest_feasible(0, candidates.len() - 1, &mut probe),
+        };
+        let (idx, center_idx) = best.unwrap_or_else(|| {
+            // The diameter guess must succeed; recompute defensively
+            // (answered from the cache when certified, like any probe —
+            // but uncounted, matching `greedy_with`'s accounting).
+            let last = candidates.len() - 1;
+            let key = candidates[last].to_bits();
+            let c = records
+                .get(&key)
+                .map(|rec| rec.verdict())
+                .unwrap_or_else(|| {
+                    let rec = disk_greedy_recorded(&oracle, &weights, k, z, candidates[last]);
+                    let verdict = rec.verdict();
+                    records.insert(key, rec);
+                    verdict
+                })
+                .expect("diameter-radius guess must be feasible");
+            (last, c)
+        });
+        let guess = candidates[idx];
+        let centers: Vec<P> = center_idx
+            .iter()
+            .map(|&i| points[i].point.clone())
+            .collect();
+        // Tighten the certified 3·r̂ to the measured cost of this center set.
+        let measured = cost_with_outliers(metric, points, &centers, z);
+        let radius = measured.min(3.0 * guess);
+        let uncovered = crate::cost::uncovered_weight(metric, points, &centers, radius);
+
+        let matrix = oracle.into_matrix();
+        *state = Some(SolveState {
+            k,
+            z,
+            exact_candidates_max_n: params.exact_candidates_max_n,
+            geometric_step_bits: params.geometric_step.to_bits(),
+            matrix_max_n: params.matrix_max_n,
+            points: pts,
+            weights,
+            candidates,
+            records,
+            matrix,
+        });
+        GreedySolution {
+            centers,
+            radius,
+            guess,
+            uncovered,
+            probes,
+            reused_verdicts: reused,
+        }
     }
 }
 
@@ -683,6 +1184,156 @@ mod tests {
         assert_eq!(warm.centers, cold.centers);
         assert_eq!(warm.radius.to_bits(), cold.radius.to_bits());
         assert!(warm.probes <= 2);
+    }
+
+    /// Four well-separated single-point sites with sharply distinct
+    /// masses: every ball gain is a sum of distinct weights, so pick
+    /// margins dwarf small weight bumps and verdicts re-certify.  (Ties
+    /// — e.g. co-located points with identical balls — deliberately
+    /// fail the strict margin certificate and re-run.)
+    fn delta_instance() -> Vec<Weighted<[f64; 2]>> {
+        [(0.0, 400u64), (100.0, 150), (200.0, 60), (300.0, 30)]
+            .iter()
+            .map(|&(x, weight)| Weighted {
+                point: [x, 0.0],
+                weight,
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(
+        sol: &GreedySolution<[f64; 2]>,
+        cold: &GreedySolution<[f64; 2]>,
+        what: &str,
+    ) {
+        assert_eq!(sol.centers, cold.centers, "{what}: centers");
+        assert_eq!(
+            sol.radius.to_bits(),
+            cold.radius.to_bits(),
+            "{what}: radius"
+        );
+        assert_eq!(sol.guess.to_bits(), cold.guess.to_bits(), "{what}: guess");
+        assert_eq!(sol.uncovered, cold.uncovered, "{what}: uncovered");
+        // The stateful search retraces the cold search probe-for-probe:
+        // every probe is either answered from a certified record or run.
+        assert_eq!(
+            sol.probes + sol.reused_verdicts,
+            cold.probes,
+            "{what}: probe accounting"
+        );
+    }
+
+    #[test]
+    fn stateful_matches_stateless_across_deltas() {
+        let (k, z) = (3usize, 35u64);
+        let mut pts = delta_instance();
+        let mut state = None;
+        let first = greedy_stateful(&L2, &pts, k, z, &GreedyParams::default(), &mut state);
+        let cold = greedy_with(&L2, &pts, k, z, &GreedyParams::default());
+        assert_bit_identical(&first, &cold, "first (recording cold)");
+        assert_eq!(first.reused_verdicts, 0);
+
+        // Pure weight bump: every probe should come from the cache.
+        pts[0].weight += 1;
+        let warm = greedy_stateful(&L2, &pts, k, z, &GreedyParams::default(), &mut state);
+        let cold = greedy_with(&L2, &pts, k, z, &GreedyParams::default());
+        assert_bit_identical(&warm, &cold, "pure bump");
+        assert!(warm.reused_verdicts > 0, "bump must reuse verdicts");
+        assert_eq!(warm.probes, 0, "unit bump should re-certify every probe");
+
+        // Added representative: ladder recomputes, verdicts still reusable
+        // when the addition is light.
+        pts.push(Weighted {
+            point: [300.9, 0.0],
+            weight: 2,
+        });
+        let added = greedy_stateful(&L2, &pts, k, z, &GreedyParams::default(), &mut state);
+        let cold = greedy_with(&L2, &pts, k, z, &GreedyParams::default());
+        assert_bit_identical(&added, &cold, "added rep");
+
+        // Removal: no certificate survives — the solve falls back cold and
+        // still matches bit-for-bit.
+        pts.remove(0);
+        let removed = greedy_stateful(&L2, &pts, k, z, &GreedyParams::default(), &mut state);
+        let cold = greedy_with(&L2, &pts, k, z, &GreedyParams::default());
+        assert_bit_identical(&removed, &cold, "removal (cold fallback)");
+        assert_eq!(removed.reused_verdicts, 0);
+    }
+
+    #[test]
+    fn stateful_with_warm_hint_stays_bit_identical() {
+        let (k, z) = (3usize, 35u64);
+        let mut pts = delta_instance();
+        let mut state = None;
+        let first = greedy_stateful(&L2, &pts, k, z, &GreedyParams::default(), &mut state);
+        pts[3].weight += 2;
+        let params = GreedyParams::warm(first.guess);
+        let warm = greedy_stateful(&L2, &pts, k, z, &params, &mut state);
+        let cold = greedy_with(&L2, &pts, k, z, &params);
+        assert_bit_identical(&warm, &cold, "warm-hint bump");
+        assert!(warm.reused_verdicts > 0);
+        assert_eq!(warm.probes, 0);
+    }
+
+    #[test]
+    fn stateful_fuzz_bit_identical_to_stateless() {
+        // 3 seeds × 25 epochs of random bumps / adds / removals / idle
+        // republishes, on both the exact-matrix and geometric-columnar
+        // configurations: the stateful solve must reproduce the
+        // stateless solve's bits at every epoch.
+        for seed in 0u64..3 {
+            let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (seed.wrapping_mul(0xD134_2543_DE82_EF95));
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            let base = if seed % 2 == 0 {
+                GreedyParams::default()
+            } else {
+                GreedyParams {
+                    exact_candidates_max_n: 0,
+                    matrix_max_n: 0,
+                    ..Default::default()
+                }
+            };
+            let (k, z) = (3usize, 35u64);
+            let mut pts = delta_instance();
+            let mut state = None;
+            let mut prev_guess: Option<f64> = None;
+            for epoch in 0..25 {
+                match next() % 4 {
+                    0 => {
+                        let i = (next() as usize) % pts.len();
+                        pts[i].weight += 1 + next() % 5;
+                    }
+                    1 => {
+                        let x = (next() % 400) as f64;
+                        pts.push(Weighted {
+                            point: [x, 1.0],
+                            weight: 1 + next() % 3,
+                        });
+                    }
+                    2 if pts.len() > 3 => {
+                        let i = (next() as usize) % pts.len();
+                        pts.remove(i);
+                    }
+                    _ => {} // idle republish: identical summary
+                }
+                let params = match prev_guess {
+                    Some(g) => GreedyParams {
+                        warm_guess: Some(g),
+                        ..base.clone()
+                    },
+                    None => base.clone(),
+                };
+                let sol = greedy_stateful(&L2, &pts, k, z, &params, &mut state);
+                let cold = greedy_with(&L2, &pts, k, z, &params);
+                assert_bit_identical(&sol, &cold, &format!("seed {seed} epoch {epoch}"));
+                prev_guess = Some(sol.guess);
+            }
+        }
     }
 
     #[test]

@@ -193,7 +193,7 @@ pub struct LoadDriver<P, M: MetricSpace<P>> {
 
 impl<P, M> LoadDriver<P, M>
 where
-    P: Clone + SpaceUsage + ShardKey + Send + Sync,
+    P: Clone + PartialEq + SpaceUsage + ShardKey + Send + Sync,
     M: MetricSpace<P> + Clone,
 {
     /// A driver over the given engine, with its own query front.

@@ -47,7 +47,7 @@ pub struct QueryEngine<P, M: MetricSpace<P>> {
 
 impl<P, M> QueryEngine<P, M>
 where
-    P: Clone + SpaceUsage + ShardKey + Send + Sync,
+    P: Clone + PartialEq + SpaceUsage + ShardKey + Send + Sync,
     M: MetricSpace<P> + Clone,
 {
     /// Wraps an engine and publishes its current epoch as the initial

@@ -137,6 +137,23 @@ impl<P: Clone, M: MetricSpace<P> + Clone> SnapshotView<P, M> {
         self.snap.radius_bound
     }
 
+    /// The feasible guess `r̂` the epoch's solve settled on
+    /// (`radius ≤ 3·r̂`).
+    pub fn guess(&self) -> f64 {
+        self.snap.guess
+    }
+
+    /// Feasibility probes (`disk_greedy` runs) the epoch's solve spent.
+    pub fn solve_probes(&self) -> usize {
+        self.snap.stats.solve_probes
+    }
+
+    /// Probes the delta-aware solve answered from re-certified cached
+    /// verdicts (always `0` under the cold solver).
+    pub fn reused_verdicts(&self) -> usize {
+        self.snap.stats.reused_verdicts
+    }
+
     /// The ε′ the epoch's summary certifies.
     pub fn effective_eps(&self) -> f64 {
         self.snap.effective_eps
@@ -326,6 +343,21 @@ mod tests {
             assert_eq!(via_index, scalar, "r = {r}");
             assert_eq!(view.covered_fast(&q, r), !scalar.is_empty());
         }
+    }
+
+    #[test]
+    fn solver_accounting_is_visible() {
+        let engine = Engine::new(L2, EngineConfig::new(2, 2, 1, 0.5));
+        let pts = two_clusters();
+        engine.ingest(&pts);
+        engine.publish();
+        engine.ingest(&[pts[0]]);
+        let view = SnapshotView::new(L2, engine.publish());
+        assert!(
+            view.solve_probes() + view.reused_verdicts() > 0,
+            "a republish must account its radius probes"
+        );
+        assert!(view.radius() <= 3.0 * view.guess() + 1e-9);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! kcz engine  --shards 4 --batch 256 --k 3 --z 10 --eps 0.5 \
 //!             [--precision f64|f32] [--incremental | --full-republish] \
 //!             [--backend insertion|window|decay] [--window W] [--half-life H] \
-//!             [< pts.csv]
+//!             [--solver cold|delta] [< pts.csv]
 //! kcz query   --input pts.csv --requests req.csv --shards 4 --batch 256 \
 //!             --k 3 --z 10 --eps 0.5
 //! kcz conformance [--tier smoke|full] [--json <path>]
@@ -29,7 +29,11 @@
 //! the two print byte-identical output.  `--precision f32` switches the
 //! shard absorb sweeps to the columnar f32 storage mode (ε′ widened by
 //! the certified `F32_EPS_BUDGET`); the default `f64` is bit-identical
-//! to the scalar kernels.
+//! to the scalar kernels.  `--solver` picks the publish-path Charikar
+//! solver: `delta` (the default) re-certifies the previous epoch's
+//! feasibility verdicts against the summary delta, `cold` re-solves
+//! from scratch — the two print byte-identical clustering output, and
+//! the solver's probe accounting goes to stderr.
 //! `query` ingests the stream the same way, publishes a snapshot, and
 //! answers the request file against it (`assign,x,y` / `classify,x,y,r`
 //! / `nearest,x,y,j` per line) — the read side of the same engine.
@@ -66,7 +70,7 @@ const USAGE: &str = "usage:
   kcz engine  --shards <N> --batch <B> --k <K> --z <Z> --eps <EPS>
               [--precision f64|f32] [--incremental | --full-republish]
               [--backend insertion|window|decay] [--window <W>]
-              [--half-life <H>] [--input <csv>]
+              [--half-life <H>] [--solver cold|delta] [--input <csv>]
               (reads stdin when --input is omitted; the republish flags
                publish after every batch instead of once at end;
                --backend window requires --window, --backend decay
@@ -210,6 +214,19 @@ fn run_conformance_cmd(flags: &HashMap<String, String>) -> Result<ExitCode, Stri
         "churn conformance: {} scenarios replayed in {:.1?}",
         report.scenarios.len(),
         tc.elapsed()
+    );
+    // The delta-aware solver is judged too: strided epochs of every
+    // scenario are re-solved by a cold-solver engine on the same
+    // publish schedule and bit-compared (radius / centers / guess /
+    // uncovered) against the delta solver's snapshots.  Entries carry
+    // the `solver/` tag and ride the incremental array, keeping the
+    // report schema — and the byte-pinned golden — stable.
+    let ts = std::time::Instant::now();
+    incremental_viols.extend(solver_violations(tier));
+    eprintln!(
+        "solver conformance: {} scenarios verified against cold in {:.1?}",
+        report.scenarios.len(),
+        ts.elapsed()
     );
     if let Some(path) = flags.get("json") {
         let body = report.to_json_with_violations(&query_viols, &incremental_viols);
@@ -387,10 +404,24 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy + Send + Sync>(
             // insertion backend prints byte-identical output to before
             // backends existed.
             let backend = parse_backend(flags)?;
+            // `--solver delta` (the default) runs the delta-aware
+            // Charikar solve; `--solver cold` re-solves every publish
+            // from scratch.  Both print byte-identical clustering
+            // output — the delta path is certified bit-identical by
+            // construction — so the choice only moves the probe
+            // accounting reported on stderr.
+            let (solver, solver_name) = match flags.get("solver").map(String::as_str) {
+                None | Some("delta") => (SolverMode::Delta, "delta"),
+                Some("cold") => (SolverMode::Cold, "cold"),
+                Some(other) => {
+                    return Err(format!("--solver must be cold or delta, got `{other}`"))
+                }
+            };
             let t0 = std::time::Instant::now();
             let mut cfg = EngineConfig::new(shards, k, z, eps)
                 .with_precision(precision)
-                .with_backend(backend);
+                .with_backend(backend)
+                .with_solver(solver);
             if full {
                 cfg = cfg.full_republish();
             }
@@ -443,6 +474,12 @@ fn run_with_metric<M: MetricSpace<[f64; 2]> + Copy + Send + Sync>(
                 snap.stats.points,
                 t0.elapsed(),
                 shards
+            );
+            // Solver accounting stays on stderr so the clustering
+            // output above remains byte-identical across solver modes.
+            eprintln!(
+                "(solver {solver_name}: {} probes, {} reused verdicts at epoch {})",
+                snap.stats.solve_probes, snap.stats.reused_verdicts, snap.epoch
             );
             Ok(ExitCode::SUCCESS)
         }

@@ -548,6 +548,101 @@ fn engine_incremental_golden_and_mode_equality() {
 }
 
 #[test]
+fn engine_solver_modes_print_identical_golden_output() {
+    // The delta-aware solver is bit-identical to a cold solve by
+    // construction, so `--solver cold` and `--solver delta` (the
+    // default) print byte-identical clustering output — both pinned
+    // against the SAME incremental golden the mode-equality test uses.
+    // The solver's probe accounting goes to stderr only.
+    use std::process::Stdio;
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_incremental_golden.txt"
+    );
+    let run = |solver: &str| {
+        let child = kcz()
+            .args([
+                "engine",
+                "--shards",
+                "8",
+                "--batch",
+                "4",
+                "--k",
+                "2",
+                "--z",
+                "1",
+                "--eps",
+                "0.5",
+                "--incremental",
+                "--solver",
+                solver,
+            ])
+            .stdin(Stdio::from(std::fs::File::open(fixture).unwrap()))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("run kcz engine");
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "--solver {solver}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let expected = std::fs::read_to_string(golden).unwrap();
+    let (cold_out, cold_err) = run("cold");
+    let (delta_out, delta_err) = run("delta");
+    assert_eq!(
+        cold_out, expected,
+        "--solver cold drifted from the committed incremental golden"
+    );
+    assert_eq!(
+        delta_out, expected,
+        "--solver delta drifted from the committed incremental golden"
+    );
+    // The probe accounting lands on stderr, named per mode.
+    assert!(cold_err.contains("(solver cold:"), "{cold_err}");
+    assert!(delta_err.contains("(solver delta:"), "{delta_err}");
+    // An unknown solver is a clean usage error: exit 2, one-line
+    // diagnostic naming the valid choices.
+    let out = kcz()
+        .args([
+            "engine",
+            "--input",
+            fixture,
+            "--shards",
+            "8",
+            "--batch",
+            "4",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--incremental",
+            "--solver",
+            "bogus",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.lines()
+            .next()
+            .unwrap_or_default()
+            .contains("cold or delta"),
+        "{err}"
+    );
+}
+
+#[test]
 fn engine_sharding_reports_wider_eps_but_same_fixture_radius() {
     // One shard is exactly the single-stream insertion-only pipeline:
     // ε′ = ε, bound factor 3 + 8ε.  Eight shards pay ⌈log₂ 8⌉ = 3 merge
