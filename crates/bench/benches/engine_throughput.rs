@@ -17,11 +17,16 @@
 //! absorb path (see [`absorb_path_is_allocation_free`]): a steady-state
 //! insert that lands on an existing representative must not allocate —
 //! the guard for the fix that removed the per-call clone of every
-//! representative from the summary's pairwise-distance scan.
+//! representative from the summary's pairwise-distance scan.  The same
+//! assert covers the *instrumented* absorb (span + counter recording
+//! through a live registry), and
+//! [`instrumentation_overhead_guardrail`] pins the metrics layer's
+//! ingest cost to < 3% of the uninstrumented median.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kcz_engine::{Engine, EngineConfig, SolverMode};
 use kcz_metric::{Precision, L2};
+use kcz_obs::{MetricsHandle, Registry};
 use kcz_streaming::InsertionOnlyCoreset;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -116,9 +121,99 @@ fn absorb_path_is_allocation_free(stream: &[[f64; 2]]) {
     }
 }
 
+/// The instrumented absorb path must be just as allocation-free: one
+/// span (two monotonic clock reads + one atomic histogram record) and
+/// one counter bump per insert touch only pre-registered atomics.
+/// Registration happens once up front — steady-state recording never
+/// takes the registry lock or names a metric.
+fn instrumented_absorb_is_allocation_free(stream: &[[f64; 2]]) {
+    let registry = Registry::new();
+    let metrics = MetricsHandle::new(&registry);
+    // Pre-registered instruments: the only allocating step.
+    let span = metrics.stage("bench.absorb.span_ns");
+    let absorbs = metrics.counter("bench.absorb.inserts");
+    let mut alg = InsertionOnlyCoreset::new(L2, K, Z, EPS);
+    for site in 0..SITES {
+        alg.insert(site_point(site));
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for p in &stream[..4 * SITES] {
+        let t = span.start();
+        alg.insert(*p);
+        t.finish();
+        absorbs.incr();
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "instrumented absorb-path inserts allocated {allocations} times \
+         (recording must touch only pre-registered atomics)"
+    );
+    let hist = registry
+        .histogram_snapshot("bench.absorb.span_ns")
+        .expect("span registered");
+    assert_eq!(hist.count(), (4 * SITES) as u64);
+    assert_eq!(
+        registry.counter_value("bench.absorb.inserts"),
+        Some((4 * SITES) as u64)
+    );
+    println!(
+        "engine_throughput/instrumented_absorb_alloc_regression: \
+         0 allocations over {} recorded absorbs — ok",
+        4 * SITES
+    );
+}
+
+/// Overhead guardrail for the metrics layer: a fully instrumented
+/// engine (live registry, monotonic clock, per-batch spans) must ingest
+/// the stream within 3% of the uninstrumented engine's median.  Runs
+/// are interleaved so ambient drift hits both sides equally.
+fn instrumentation_overhead_guardrail(stream: &[[f64; 2]]) {
+    let run = |metrics: &MetricsHandle| {
+        let t0 = std::time::Instant::now();
+        let engine = Engine::new(L2, EngineConfig::new(8, K, Z, EPS)).with_metrics(metrics);
+        for batch in stream.chunks(4096) {
+            engine.ingest(batch);
+        }
+        black_box(engine.snapshot().coreset.len());
+        t0.elapsed().as_secs_f64()
+    };
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    const REPEATS: usize = 7;
+    let registry = Registry::new();
+    let live = MetricsHandle::new(&registry);
+    let off = MetricsHandle::disabled();
+    let (mut base, mut inst) = (Vec::new(), Vec::new());
+    run(&off); // one unmeasured warm-up for the allocator and the pool
+    for _ in 0..REPEATS {
+        base.push(run(&off));
+        inst.push(run(&live));
+    }
+    let (b, i) = (median(base), median(inst));
+    println!(
+        "engine_throughput/instrumentation_overhead: uninstrumented median \
+         {:.1} ms, instrumented {:.1} ms ({:+.2}%)",
+        b * 1e3,
+        i * 1e3,
+        (i / b - 1.0) * 100.0
+    );
+    assert!(
+        i <= b * 1.03,
+        "instrumented ingest median {:.3} ms exceeds 3% over the \
+         uninstrumented {:.3} ms",
+        i * 1e3,
+        b * 1e3
+    );
+}
+
 fn bench_engine(c: &mut Criterion) {
     let stream = arrivals(N);
     absorb_path_is_allocation_free(&stream);
+    instrumented_absorb_is_allocation_free(&stream);
+    instrumentation_overhead_guardrail(&stream);
 
     let mut g = c.benchmark_group("engine_ingest");
     g.sample_size(5);
@@ -145,6 +240,26 @@ fn bench_engine(c: &mut Criterion) {
             });
         });
     }
+    // The instrumented engine at the reference shard count: same
+    // ingest, plus per-batch spans and counters through a live
+    // registry — its median rides next to `sharded/8` in
+    // BENCH_engine.json as the recorded overhead evidence.
+    g.bench_with_input(
+        BenchmarkId::new("sharded_instrumented", 8),
+        &stream,
+        |b, s| {
+            let registry = Registry::new();
+            let metrics = MetricsHandle::new(&registry);
+            b.iter(|| {
+                let engine =
+                    Engine::new(L2, EngineConfig::new(8, K, Z, EPS)).with_metrics(&metrics);
+                for batch in s.chunks(4096) {
+                    engine.ingest(batch);
+                }
+                black_box(engine.snapshot().coreset.len())
+            });
+        },
+    );
     // The f32 absorb mirror at the same shard counts: published points
     // stay f64, only the absorb scan runs on f32 lanes.
     for shards in [1usize, 8] {

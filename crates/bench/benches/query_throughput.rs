@@ -14,14 +14,48 @@
 //! when cores exist); the mixed-trace case exercises the same query
 //! paths through the [`kcz_serve::LoadDriver`] with ingest and refresh
 //! interleaved.
+//!
+//! The bench also carries the metrics layer's read-side guards: a
+//! recorded scalar query (counter bump + view acquisition + kernel
+//! scan) must not allocate at steady state
+//! ([`recorded_query_is_allocation_free`]), and the instrumented
+//! batched path must answer within 3% of the uninstrumented median
+//! ([`assign_overhead_guardrail`]).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kcz_engine::{Engine, EngineConfig};
 use kcz_metric::L2;
+use kcz_obs::{MetricsHandle, Registry};
 use kcz_serve::{DriverConfig, LoadDriver, QueryEngine};
 use kcz_workloads::{mixed_trace, query_trace};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Allocation counter wrapped around the system allocator (one
+/// `#[global_allocator]` per bench binary), so the bench can assert the
+/// recorded scalar query path performs zero allocations at steady state.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const N_QUERIES: usize = 1_000_000;
 const N_INGEST: usize = 50_000;
@@ -50,6 +84,84 @@ fn serving_engine() -> Arc<Engine<[f64; 2], L2>> {
     engine
 }
 
+/// A recorded scalar query — counter bump, view acquisition (read-lock
+/// plus `Arc` clone), deferred-`sqrt` kernel scan over `k` centers —
+/// must not allocate: the instruments are pre-registered atomics and
+/// the answer is returned by value.
+fn recorded_query_is_allocation_free(probes: &[[f64; 2]]) {
+    let registry = Registry::new();
+    let metrics = MetricsHandle::new(&registry);
+    let query = QueryEngine::with_metrics(serving_engine(), &metrics);
+    query.refresh();
+    // Warm-up: fault in any lazy state off the counted path.
+    let mut covered = 0usize;
+    for p in &probes[..64] {
+        covered += query.assign(p).is_some() as usize;
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for p in &probes[..8192] {
+        covered += query.assign(p).is_some() as usize;
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    black_box(covered);
+    assert_eq!(
+        allocations, 0,
+        "recorded scalar queries allocated {allocations} times \
+         (the instrumented serve path must touch only pre-registered atomics)"
+    );
+    assert_eq!(
+        registry.counter_value("query.scalar.queries"),
+        Some(64 + 8192),
+        "every served query must be counted"
+    );
+    println!(
+        "query_throughput/recorded_query_alloc_regression: \
+         0 allocations over 8192 recorded queries — ok"
+    );
+}
+
+/// Overhead guardrail for the read side: the instrumented batched
+/// assign (view/kernel spans + per-batch counters through a live
+/// registry) must answer within 3% of the uninstrumented median.
+fn assign_overhead_guardrail(probes: &[[f64; 2]]) {
+    let run = |metrics: &MetricsHandle| {
+        let query = QueryEngine::with_metrics(serving_engine(), metrics);
+        query.refresh();
+        let t0 = std::time::Instant::now();
+        black_box(query.assign_batch(probes).iter().flatten().count());
+        t0.elapsed().as_secs_f64()
+    };
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    const REPEATS: usize = 7;
+    let registry = Registry::new();
+    let live = MetricsHandle::new(&registry);
+    let off = MetricsHandle::disabled();
+    let (mut base, mut inst) = (Vec::new(), Vec::new());
+    run(&off); // one unmeasured warm-up for the allocator and the pool
+    for _ in 0..REPEATS {
+        base.push(run(&off));
+        inst.push(run(&live));
+    }
+    let (b, i) = (median(base), median(inst));
+    println!(
+        "query_throughput/assign_instrumentation_overhead: uninstrumented \
+         median {:.1} ms, instrumented {:.1} ms ({:+.2}%)",
+        b * 1e3,
+        i * 1e3,
+        (i / b - 1.0) * 100.0
+    );
+    assert!(
+        i <= b * 1.03,
+        "instrumented batched assign median {:.3} ms exceeds 3% over the \
+         uninstrumented {:.3} ms",
+        i * 1e3,
+        b * 1e3
+    );
+}
+
 fn bench_query(c: &mut Criterion) {
     let engine = serving_engine();
     let query = QueryEngine::new(Arc::clone(&engine));
@@ -57,6 +169,8 @@ fn bench_query(c: &mut Criterion) {
     // Zipf-skewed keys: 90% near the (rank-weighted) cluster cores, 10%
     // far probes.
     let probes = query_trace(N_QUERIES, &sites(), 1.1, 60.0, 0.1, 0x9E4B);
+    recorded_query_is_allocation_free(&probes);
+    assign_overhead_guardrail(&probes);
 
     let mut g = c.benchmark_group("query_assign");
     g.sample_size(5);
@@ -72,6 +186,19 @@ fn bench_query(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("batched", N_QUERIES), &probes, |b, ps| {
         b.iter(|| black_box(query.assign_batch(ps).iter().flatten().count()));
     });
+    // The instrumented batched path — its median rides next to
+    // `batched` in BENCH_serve.json as the recorded overhead evidence.
+    g.bench_with_input(
+        BenchmarkId::new("batched_instrumented", N_QUERIES),
+        &probes,
+        |b, ps| {
+            let registry = Registry::new();
+            let metrics = MetricsHandle::new(&registry);
+            let query = QueryEngine::with_metrics(Arc::clone(&engine), &metrics);
+            query.refresh();
+            b.iter(|| black_box(query.assign_batch(ps).iter().flatten().count()));
+        },
+    );
     g.finish();
 
     // Mixed read/write replay through the load driver: 4:1 reads to

@@ -29,6 +29,7 @@
 use kcz_coreset::{end_to_end_factor, tree_depth, MergeableSummary};
 use kcz_kcenter::{farthest_first, greedy_stateful, greedy_with, GreedyParams, SolveState};
 use kcz_metric::{MetricSpace, Precision, SpaceUsage, Weighted};
+use kcz_obs::{Counter, Gauge, MetricsHandle, Stage};
 use kcz_streaming::InsertionOnlyCoreset;
 use kcz_workloads::{HashPartitioner, ShardKey};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -174,6 +175,18 @@ pub struct EngineStats {
     /// verdicts instead of `disk_greedy` runs (always `0` under
     /// [`SolverMode::Cold`]).
     pub reused_verdicts: usize,
+    /// Merge-tree + Charikar solves performed over the engine's
+    /// lifetime up to this snapshot (the same count
+    /// [`Engine::solves`] reads) — snapshots and the engine expose the
+    /// solve/elision accounting uniformly.
+    pub solves: u64,
+    /// Pair merges performed over the engine's lifetime up to this
+    /// snapshot (see [`Engine::merges`]).
+    pub merges: u64,
+    /// Charikar solves elided on an unchanged merged fingerprint over
+    /// the engine's lifetime up to this snapshot (see
+    /// [`Engine::elisions`]).
+    pub elisions: u64,
 }
 
 /// One epoch-numbered, fully merged view of everything ingested.
@@ -293,6 +306,100 @@ struct TreeCache<P, M: MetricSpace<P>> {
     levels: Vec<Vec<InsertionOnlyCoreset<P, M>>>,
 }
 
+/// The engine's instrument set.  Counters double as the engine's own
+/// accounting (they are the single source of truth behind
+/// [`Engine::solves`] & co., live whether or not metrics are enabled —
+/// a disabled handle hands out detached cells); stages and gauges are
+/// no-ops unless the engine was built [`Engine::with_metrics`].
+/// Recording is relaxed atomics only: the instrumented ingest and
+/// publish paths stay allocation-free in steady state.
+struct EngineInstruments {
+    /// `engine.ingest.points` — total weight ingested.
+    points: Counter,
+    /// `engine.ingest.batches` — batches accepted.
+    batches: Counter,
+    /// `engine.publish.solves` — full merge + Charikar solve passes.
+    solves: Counter,
+    /// `engine.publish.pair_merges` — pair merges actually performed.
+    merges: Counter,
+    /// `engine.publish.elisions` — solves skipped on an unchanged
+    /// merged fingerprint.
+    elisions: Counter,
+    /// `engine.solve.probes` — cumulative feasibility probes spent.
+    probes: Counter,
+    /// `engine.solve.reused_verdicts` — cumulative probes answered from
+    /// re-certified cached verdicts.
+    reused: Counter,
+    /// `engine.ingest.batch_ns` — per-batch ingest latency.
+    ingest_batch: Stage,
+    /// `engine.publish.total_ns` — whole slow-path publish.
+    publish_total: Stage,
+    /// `engine.publish.stage.clone_ns` — phase 1, dirty-shard clones.
+    stage_clone: Stage,
+    /// `engine.publish.stage.merge_ns` — phase 2, dirty-path re-merge.
+    stage_merge: Stage,
+    /// `engine.publish.stage.solve_ns` — phase 3, the Charikar solve.
+    stage_solve: Stage,
+    /// `engine.publish.stage.replay_ns` — certificate replay on an
+    /// elided solve (re-keying the cached solution).
+    stage_replay: Stage,
+    /// `engine.publish.stage.build_ns` — snapshot construction.
+    stage_build: Stage,
+    /// `engine.snapshot.coreset_size` — merged coreset size at the last
+    /// solved epoch.
+    coreset_size: Gauge,
+    /// `engine.snapshot.summary_words` — merged summary words at the
+    /// last solved epoch.
+    summary_words: Gauge,
+    /// `engine.publish.epoch` — newest published epoch number.
+    epoch_gauge: Gauge,
+    /// `engine.merge.peak_transient_words` — high-water merge-tree
+    /// residency.
+    peak_transient: Gauge,
+}
+
+impl EngineInstruments {
+    fn new(metrics: &MetricsHandle) -> Self {
+        EngineInstruments {
+            points: metrics.counter("engine.ingest.points"),
+            batches: metrics.counter("engine.ingest.batches"),
+            solves: metrics.counter("engine.publish.solves"),
+            merges: metrics.counter("engine.publish.pair_merges"),
+            elisions: metrics.counter("engine.publish.elisions"),
+            probes: metrics.counter("engine.solve.probes"),
+            reused: metrics.counter("engine.solve.reused_verdicts"),
+            ingest_batch: metrics.stage("engine.ingest.batch_ns"),
+            publish_total: metrics.stage("engine.publish.total_ns"),
+            stage_clone: metrics.stage("engine.publish.stage.clone_ns"),
+            stage_merge: metrics.stage("engine.publish.stage.merge_ns"),
+            stage_solve: metrics.stage("engine.publish.stage.solve_ns"),
+            stage_replay: metrics.stage("engine.publish.stage.replay_ns"),
+            stage_build: metrics.stage("engine.publish.stage.build_ns"),
+            coreset_size: metrics.gauge("engine.snapshot.coreset_size"),
+            summary_words: metrics.gauge("engine.snapshot.summary_words"),
+            epoch_gauge: metrics.gauge("engine.publish.epoch"),
+            peak_transient: metrics.gauge("engine.merge.peak_transient_words"),
+        }
+    }
+
+    /// Carries accumulated counts into a fresh instrument set (the
+    /// [`Engine::with_metrics`] rebind: an engine instrumented after
+    /// doing work must not lose its accounting).
+    fn carry_from(&self, old: &EngineInstruments) {
+        self.points.add(old.points.get());
+        self.batches.add(old.batches.get());
+        self.solves.add(old.solves.get());
+        self.merges.add(old.merges.get());
+        self.elisions.add(old.elisions.get());
+        self.probes.add(old.probes.get());
+        self.reused.add(old.reused.get());
+        self.coreset_size.set(old.coreset_size.get());
+        self.summary_words.set(old.summary_words.get());
+        self.epoch_gauge.set(old.epoch_gauge.get());
+        self.peak_transient.set_max(old.peak_transient.get());
+    }
+}
+
 /// A long-lived, sharded clustering engine over one metric space.
 ///
 /// `ingest` and `snapshot` take `&self`: the engine is shared across
@@ -303,8 +410,7 @@ pub struct Engine<P, M: MetricSpace<P>> {
     metric: M,
     router: HashPartitioner,
     shards: Vec<Mutex<AnyShard<P, M>>>,
-    points: AtomicU64,
-    batches: AtomicU64,
+    obs: EngineInstruments,
     epoch: AtomicU64,
     /// Data version: bumped once per accepted batch, *after* the batch
     /// has fully landed in the shards.  `publish` stamps each solved
@@ -320,14 +426,6 @@ pub struct Engine<P, M: MetricSpace<P>> {
     /// it as each point's arrival stamp and at publish time via
     /// `advance_to`.
     clock: AtomicU64,
-    /// Full merge-tree + solve passes performed (the read side's
-    /// regression surface: an unchanged version must not re-solve).
-    solves: AtomicU64,
-    /// Pair merges actually performed across all publishes (the
-    /// incremental path's regression surface: a publish after touching
-    /// one of N shards re-merges one root-to-leaf path, ≤ ⌈log₂N⌉
-    /// merges, not N-1).
-    merges: AtomicU64,
     /// The last published snapshot, keyed by the data version it was
     /// solved at.  Readers (`latest`) clone the `Arc` under a brief read
     /// lock; only a publish of a *newer* epoch takes the write lock.
@@ -339,10 +437,6 @@ pub struct Engine<P, M: MetricSpace<P>> {
     /// deterministic function of the merged bits, so its output is
     /// already sitting in the cache.
     published_fp: AtomicU64,
-    /// Charikar solves elided because the merged bits were unchanged
-    /// (e.g. every arrival since the last publish was absorbed into
-    /// weight-saturated representatives).
-    elisions: AtomicU64,
     /// Collapses a publish herd: when several threads race `publish` on
     /// the same new data version, one solves while the rest wait here
     /// and then take the refreshed cache — N concurrent refreshers cost
@@ -402,16 +496,12 @@ where
             router: HashPartitioner::new(cfg.shards, cfg.seed),
             metric,
             shards,
-            points: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
+            obs: EngineInstruments::new(&MetricsHandle::disabled()),
             epoch: AtomicU64::new(0),
             version: AtomicU64::new(0),
             clock: AtomicU64::new(0),
-            solves: AtomicU64::new(0),
-            merges: AtomicU64::new(0),
             published: RwLock::new(None),
             published_fp: AtomicU64::new(0),
-            elisions: AtomicU64::new(0),
             publish_order: Mutex::new(()),
             tree_cache: Mutex::new(None),
             solve_state: Mutex::new(None),
@@ -419,6 +509,20 @@ where
             pool: global(),
             cfg,
         }
+    }
+
+    /// Rebinds the engine's instruments onto `metrics`: every counter,
+    /// stage span (the publish phases: dirty-shard clone, re-merge,
+    /// solve vs certificate replay, snapshot build; per-batch ingest)
+    /// and gauge records into its registry from here on.  Counts
+    /// accumulated before the rebind carry over, so accessors like
+    /// [`Engine::solves`] never regress.  Builder-style because
+    /// [`EngineConfig`] is `Copy` and cannot own a handle.
+    pub fn with_metrics(mut self, metrics: &MetricsHandle) -> Self {
+        let fresh = EngineInstruments::new(metrics);
+        fresh.carry_from(&self.obs);
+        self.obs = fresh;
+        self
     }
 
     /// The construction parameters.
@@ -434,7 +538,7 @@ where
 
     /// Total weight ingested so far.
     pub fn points_ingested(&self) -> u64 {
-        self.points.load(Ordering::Relaxed)
+        self.obs.points.get()
     }
 
     /// Epochs published so far (the epoch number of the newest snapshot).
@@ -453,7 +557,7 @@ where
     /// unchanged version returns the cached snapshot and does not bump
     /// this — the regression surface for the snapshot fast path.
     pub fn solves(&self) -> u64 {
-        self.solves.load(Ordering::Relaxed)
+        self.obs.solves.get()
     }
 
     /// Pair merges actually performed so far, across all publishes.  A
@@ -462,7 +566,7 @@ where
     /// root-to-leaf path) — the regression surface for the dirty-shard
     /// re-merge.
     pub fn merges(&self) -> u64 {
-        self.merges.load(Ordering::Relaxed)
+        self.obs.merges.get()
     }
 
     /// Charikar solves elided because a publish's freshly merged summary
@@ -472,7 +576,7 @@ where
     /// elision still pays the merge phase, but not the solve, and burns
     /// no epoch number.
     pub fn elisions(&self) -> u64 {
-        self.elisions.load(Ordering::Relaxed)
+        self.obs.elisions.get()
     }
 
     /// Ingests one batch of unit-weight points: routes every point to its
@@ -511,6 +615,7 @@ where
         }
         // A routed arrival: (stamp, point, weight).
         type Stamped<P> = (u64, P, u64);
+        let t_batch = self.obs.ingest_batch.start();
         let base = self.clock.fetch_add(len as u64, Ordering::AcqRel);
         let mut routed: Vec<Vec<Stamped<P>>> = (0..self.cfg.shards).map(|_| Vec::new()).collect();
         let mut total = 0u64;
@@ -529,8 +634,8 @@ where
                 guard.insert_weighted(p, w, t);
             }
         });
-        self.points.fetch_add(total, Ordering::Relaxed);
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.obs.points.add(total);
+        self.obs.batches.incr();
         // Version bumps strictly *after* the batch has landed: a publish
         // that reads the new version is guaranteed to observe shards
         // that already contain the batch (the converse — a shard state
@@ -539,6 +644,7 @@ where
         // each backend's state version, read under the shard lock at
         // publish time, so it can never lag the content it stamps.
         self.version.fetch_add(1, Ordering::Release);
+        t_batch.finish();
     }
 
     /// The global arrival clock: how many points have entered ingest so
@@ -625,6 +731,7 @@ where
     /// The ε′-per-generation accounting follows the tree depth exactly
     /// as in a full rebuild, so `bound_factor = 3 + 8ε′` is unchanged.
     fn solve_snapshot(&self) -> (u64, Snapshot<P>) {
+        let t_total = self.obs.publish_total.start();
         // Take the previous tree out for the duration: a panic below
         // leaves `None` and the next publish simply rebuilds cold.
         let prev = lock_recover(&self.tree_cache).take();
@@ -660,6 +767,7 @@ where
         // cached clone without copying.  Insertion-only backends ignore
         // time and their leaves are plain clones — bit-identical to the
         // pre-backend engine.
+        let t_clone = self.obs.stage_clone.start();
         let mut stamps = vec![0u64; n];
         let mut dirty = vec![true; n];
         let mut leaves = Vec::with_capacity(n);
@@ -680,6 +788,7 @@ where
                 leaves.push(guard.summary());
             }
         }
+        t_clone.finish();
 
         // Phase 2: the balanced merge tree, one pool round per level,
         // pairing adjacent nodes exactly as `kcz_coreset::merge_level`
@@ -689,6 +798,7 @@ where
         // A pair is re-merged only when one of its leaves is dirty;
         // clean pairs take the cached node.  All levels are kept — they
         // are the next epoch's cache.
+        let t_merge = self.obs.stage_merge.start();
         let depth = tree_depth(n);
         let mut levels: Vec<Vec<InsertionOnlyCoreset<P, M>>> = vec![leaves];
         let mut level_dirty = dirty;
@@ -712,7 +822,7 @@ where
                     let left = below[2 * p].clone();
                     let right = below.get(2 * p + 1).cloned();
                     if right.is_some() {
-                        self.merges.fetch_add(1, Ordering::Relaxed);
+                        self.obs.merges.incr();
                     }
                     jobs.push((p, left, right));
                 }
@@ -736,7 +846,11 @@ where
             .sum();
         self.peak_merge_transient
             .fetch_max(merge_transient_words, Ordering::Relaxed);
+        self.obs
+            .peak_transient
+            .set_max(merge_transient_words as u64);
         let merged = levels.last().and_then(|l| l.first()).expect("merged root");
+        t_merge.finish();
 
         // Solve elision: the solve below is a deterministic function of
         // the merged bits (canonical warm hint), so when the freshly
@@ -749,19 +863,25 @@ where
         let fp = fingerprint_summary(merged);
         if self.published_fp.load(Ordering::Relaxed) == fp {
             if let Some((_, prior)) = &*read_recover(&self.published) {
-                self.elisions.fetch_add(1, Ordering::Relaxed);
+                let t_replay = self.obs.stage_replay.start();
+                self.obs.elisions.incr();
                 let mut snap = (**prior).clone();
                 snap.clock = now;
-                snap.stats.points = self.points.load(Ordering::Relaxed);
-                snap.stats.batches = self.batches.load(Ordering::Relaxed);
+                snap.stats.points = self.obs.points.get();
+                snap.stats.batches = self.obs.batches.get();
                 snap.stats.shard_peak_words = shard_peak_words;
                 snap.stats.merge_transient_words = merge_transient_words;
+                snap.stats.solves = self.obs.solves.get();
+                snap.stats.merges = self.obs.merges.get();
+                snap.stats.elisions = self.obs.elisions.get();
                 if self.cfg.incremental {
                     *lock_recover(&self.tree_cache) = Some(TreeCache {
                         leaf_versions: stamps,
                         levels,
                     });
                 }
+                t_replay.finish();
+                t_total.finish();
                 return (version, snap);
             }
         }
@@ -778,7 +898,8 @@ where
         // steps.)  Fallback to a cold solve when the hint degenerates:
         // k+z covers most of the coreset (radius ≈ 0, galloping up from
         // the bottom would cost more than bisecting).
-        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.obs.solves.incr();
+        let t_solve = self.obs.stage_solve.start();
         let radius_bound = merged.radius_bound();
         let budget = self.cfg.k.saturating_add(self.cfg.z as usize);
         let params = if budget < merged.coreset().len() / 2 {
@@ -818,6 +939,9 @@ where
                 sol
             }
         };
+        t_solve.finish();
+        self.obs.probes.add(sol.probes as u64);
+        self.obs.reused.add(sol.reused_verdicts as u64);
         // ε′ composition: the merged root accounts the leaf ε and the
         // per-generation widening; the window / decay stage sits in
         // front of the leaves and adds its own ε (zero for insertion —
@@ -827,6 +951,8 @@ where
         // merge or solve burns no epoch, keeping the "epochs advance
         // only when data did" contract across failed publishes.
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let t_build = self.obs.stage_build.start();
+        let summary_words = merged.space_words();
         let snap = Snapshot {
             epoch,
             centers: sol.centers,
@@ -840,13 +966,16 @@ where
             backend: self.cfg.backend,
             stats: EngineStats {
                 shards: self.cfg.shards,
-                points: self.points.load(Ordering::Relaxed),
-                batches: self.batches.load(Ordering::Relaxed),
+                points: self.obs.points.get(),
+                batches: self.obs.batches.get(),
                 shard_peak_words,
                 merge_transient_words,
-                summary_words: merged.space_words(),
+                summary_words,
                 solve_probes: sol.probes,
                 reused_verdicts: sol.reused_verdicts,
+                solves: self.obs.solves.get(),
+                merges: self.obs.merges.get(),
+                elisions: self.obs.elisions.get(),
             },
             coreset: merged.coreset().to_vec(),
         };
@@ -857,6 +986,11 @@ where
             });
         }
         self.published_fp.store(fp, Ordering::Relaxed);
+        t_build.finish();
+        self.obs.coreset_size.set(snap.coreset.len() as u64);
+        self.obs.summary_words.set(summary_words as u64);
+        self.obs.epoch_gauge.set(epoch);
+        t_total.finish();
         (version, snap)
     }
 

@@ -30,6 +30,11 @@
 //! unexpired-suffix replays (plus live-membership and a suffix-optimum
 //! bound check) and decayed epochs against a full-republish engine on
 //! the same publish schedule — see [`churn`].
+//! The metrics layer's MPC communication accounting is certified too:
+//! [`obs_violations`] re-runs the four MPC algorithms per scenario and
+//! checks that each run's per-round word counts are complete (they sum
+//! to the total) and that recording them through a [`kcz_obs::Registry`]
+//! reproduces them exactly — see [`obscheck`].
 //! The delta-aware Charikar solver is verified against cold:
 //! [`solver_violations`] replays each scenario on two engines differing
 //! only in solver mode and bit-compares every published epoch (radius,
@@ -45,6 +50,7 @@
 pub mod churn;
 pub mod f32cert;
 pub mod incremental;
+pub mod obscheck;
 pub mod pipeline;
 pub mod query;
 pub mod report;
@@ -54,6 +60,7 @@ pub mod solvecheck;
 pub use churn::churn_violations;
 pub use f32cert::f32_violations;
 pub use incremental::incremental_violations;
+pub use obscheck::obs_violations;
 pub use pipeline::{all_pipelines, Model, Pipeline, RadiusBound, Verdict};
 pub use query::query_violations;
 pub use report::{exact_radius, run_conformance, within_bound, ConformanceReport, ScenarioReport};

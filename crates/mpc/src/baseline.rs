@@ -73,6 +73,7 @@ where
             worker_peak_words: worker_peak,
             coordinator_peak_words: coordinator_peak,
             comm_words,
+            round_comm_words: vec![comm_words],
             coreset_size: 0,
         },
     }
@@ -168,5 +169,6 @@ mod tests {
         let res = ceccarello_one_round(&L2, &machines, 2, 3, 0.5, &GreedyParams::default());
         assert_eq!(res.stats.rounds, 1);
         assert_eq!(res.stats.coreset_size, res.coreset.len());
+        assert_eq!(res.stats.round_comm_words, vec![res.stats.comm_words]);
     }
 }

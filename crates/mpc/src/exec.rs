@@ -31,8 +31,43 @@ pub struct MpcRunStats {
     pub coordinator_peak_words: usize,
     /// Total words sent over the (simulated) network.
     pub comm_words: u64,
+    /// Words sent in each communication round, in round order
+    /// (`round_comm_words.len() == rounds` and the entries sum to
+    /// [`MpcRunStats::comm_words`] — the per-round split the paper's
+    /// communication bounds are stated against).
+    pub round_comm_words: Vec<u64>,
     /// Size (representatives) of the final coreset.
     pub coreset_size: usize,
+}
+
+impl MpcRunStats {
+    /// Records this run's communication accounting into `metrics` under
+    /// `mpc.<algorithm>.…`: one counter per round
+    /// (`…round<i>.comm_words`, 1-based) plus the totals.  Counters
+    /// accumulate across runs recorded into the same registry.
+    pub fn record_comm(&self, metrics: &kcz_obs::MetricsHandle, algorithm: &str) {
+        if !metrics.enabled() {
+            return;
+        }
+        metrics
+            .counter(&format!("mpc.{algorithm}.comm_words"))
+            .add(self.comm_words);
+        metrics.counter(&format!("mpc.{algorithm}.runs")).incr();
+        for (i, &w) in self.round_comm_words.iter().enumerate() {
+            metrics
+                .counter(&format!("mpc.{algorithm}.round{}.comm_words", i + 1))
+                .add(w);
+        }
+        metrics
+            .gauge(&format!("mpc.{algorithm}.rounds"))
+            .set(self.rounds as u64);
+        metrics
+            .gauge(&format!("mpc.{algorithm}.worker_peak_words"))
+            .set_max(self.worker_peak_words as u64);
+        metrics
+            .gauge(&format!("mpc.{algorithm}.coordinator_peak_words"))
+            .set_max(self.coordinator_peak_words as u64);
+    }
 }
 
 /// Output of an MPC coreset algorithm.
@@ -106,6 +141,46 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
         assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn record_comm_splits_rounds_and_accumulates() {
+        use kcz_obs::{MetricsHandle, Registry};
+        let stats = MpcRunStats {
+            rounds: 2,
+            machines: 4,
+            worker_peak_words: 70,
+            coordinator_peak_words: 90,
+            comm_words: 100,
+            round_comm_words: vec![60, 40],
+            coreset_size: 5,
+        };
+        let registry = Registry::new();
+        let handle = MetricsHandle::new(&registry);
+        stats.record_comm(&handle, "two_round");
+        stats.record_comm(&handle, "two_round");
+        assert_eq!(
+            registry.counter_value("mpc.two_round.comm_words"),
+            Some(200)
+        );
+        assert_eq!(registry.counter_value("mpc.two_round.runs"), Some(2));
+        assert_eq!(
+            registry.counter_value("mpc.two_round.round1.comm_words"),
+            Some(120)
+        );
+        assert_eq!(
+            registry.counter_value("mpc.two_round.round2.comm_words"),
+            Some(80)
+        );
+        assert_eq!(registry.gauge_value("mpc.two_round.rounds"), Some(2));
+        assert_eq!(
+            registry.gauge_value("mpc.two_round.worker_peak_words"),
+            Some(70)
+        );
+        // A disabled handle records nothing and registers nothing.
+        let empty = Registry::new();
+        stats.record_comm(&MetricsHandle::disabled(), "two_round");
+        assert!(empty.counters().is_empty());
     }
 
     #[test]

@@ -84,6 +84,7 @@ where
         worker_peak_words: worker_peak,
         coordinator_peak_words: coordinator_peak,
         comm_words,
+        round_comm_words: vec![comm_words],
         coreset_size: final_mbc.reps.len(),
     };
     OneRoundResult {
@@ -154,7 +155,12 @@ mod tests {
         assert_eq!(res.output.stats.rounds, 1);
         assert_eq!(res.output.stats.machines, 4);
         assert!(res.output.stats.comm_words > 0);
-        // No broadcast phase: communication is strictly coverings → coordinator.
+        // No broadcast phase: communication is strictly coverings → coordinator,
+        // so the single round carries every word.
+        assert_eq!(
+            res.output.stats.round_comm_words,
+            vec![res.output.stats.comm_words]
+        );
         assert!(res.z_prime <= 4);
     }
 

@@ -50,9 +50,11 @@ where
 
     let mut worker_peak = 0usize;
     let mut comm_words = 0u64;
+    let mut round_comm_words = Vec::with_capacity(rounds);
     let mut final_received = 0usize;
 
     for t in 1..=rounds {
+        let round_start = comm_words;
         // Each active machine compresses what it holds...
         let held: Vec<usize> = sets.iter().map(|s| words_of_weighted(s)).collect();
         let compressed = parallel_map(std::mem::take(&mut sets), |_, s| {
@@ -74,6 +76,7 @@ where
             next.push(union_coverings(chunk.iter().cloned()));
         }
         sets = next;
+        round_comm_words.push(comm_words - round_start);
         if t == rounds {
             final_received = sets.first().map(|s| words_of_weighted(s)).unwrap_or(0);
         }
@@ -91,6 +94,7 @@ where
         worker_peak_words: worker_peak,
         coordinator_peak_words: final_received,
         comm_words,
+        round_comm_words,
         coreset_size: coreset.len(),
     };
     MpcCoreset {
@@ -152,6 +156,17 @@ mod tests {
         let report = validate_coreset(&L2, &weighted, &res.coreset, 2, 2, res.effective_eps);
         assert!(report.condition1 && report.condition2, "{report:?}");
         assert!((res.effective_eps - (1.2f64.powi(2) - 1.0)).abs() < 1e-12);
+        // One comm entry per tree level, summing to the total.
+        assert_eq!(res.stats.round_comm_words.len(), rounds);
+        assert_eq!(
+            res.stats.round_comm_words.iter().sum::<u64>(),
+            res.stats.comm_words
+        );
+        assert!(
+            res.stats.round_comm_words.iter().all(|&w| w > 0),
+            "every reduction level of a 9-machine β-ary tree ships data: {:?}",
+            res.stats.round_comm_words
+        );
     }
 
     #[test]

@@ -80,7 +80,8 @@ where
             .collect()
     });
     // Broadcast: every machine sends its vector to the other m−1 machines.
-    let mut comm_words = (m as u64) * (m as u64 - 1) * len as u64;
+    let round1_words = (m as u64) * (m as u64 - 1) * len as u64;
+    let mut comm_words = round1_words;
 
     // ---- Round 2 (computed once; every machine derives the same r̂).
     let mut candidates: Vec<f64> = vectors.iter().flatten().copied().collect();
@@ -146,6 +147,7 @@ where
         worker_peak_words: worker_peak,
         coordinator_peak_words: coordinator_peak,
         comm_words,
+        round_comm_words: vec![round1_words, comm_words - round1_words],
         coreset_size: final_mbc.reps.len(),
     };
     TwoRoundResult {
@@ -249,6 +251,15 @@ mod tests {
         assert!(s.coordinator_peak_words >= s.coreset_size * 3);
         assert!(s.comm_words > 0);
         assert_eq!(s.coreset_size, res.output.coreset.len());
+        // Per-round split: round 1 is the O(m² log z) broadcast, round 2
+        // the coverings, and together they account for every word sent.
+        assert_eq!(s.round_comm_words.len(), s.rounds);
+        assert_eq!(s.round_comm_words.iter().sum::<u64>(), s.comm_words);
+        assert_eq!(
+            s.round_comm_words[0],
+            4 * 3 * vector_len(4) as u64,
+            "round 1 is exactly the m(m−1) vector broadcast"
+        );
     }
 
     #[test]

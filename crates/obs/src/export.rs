@@ -1,0 +1,120 @@
+//! The `kcz-metrics/v1` JSON export surface.
+//!
+//! Hand-rolled (the workspace is offline; no serde) with a pinned,
+//! deterministic shape: top-level `schema`, then `counters`, `gauges`,
+//! and `histograms` objects with name-sorted keys.  Each histogram
+//! reports `count`, `total_ns`, `mean_ns`, `max_ns`, the p50/p90/p99
+//! upper bounds, and its non-empty buckets as `[bucket_index, count]`
+//! pairs.  Consumers (the CI metrics-smoke step, dashboards) key off
+//! `schema` and must treat unknown fields as forward-compatible.
+
+use crate::registry::Registry;
+
+/// The schema tag stamped into every export.
+pub const SCHEMA: &str = "kcz-metrics/v1";
+
+/// Minimal JSON string escaping for metric names (which are plain
+/// ASCII identifiers in practice, but escaping is cheap insurance).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_scalar_map(out: &mut String, key: &str, entries: &[(String, u64)], last: bool) {
+    out.push_str(&format!("  \"{key}\": {{\n"));
+    for (i, (name, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("    \"{}\": {}{}\n", escape(name), value, comma));
+    }
+    out.push_str(if last { "  }\n" } else { "  },\n" });
+}
+
+impl Registry {
+    /// Serializes the registry as `kcz-metrics/v1` JSON.  Byte-stable
+    /// for a given registry state: keys are name-sorted and every
+    /// number is an integer, so a deterministic clock plus a fixed
+    /// operation sequence yields a byte-identical export.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        push_scalar_map(&mut out, "counters", &self.counters(), false);
+        push_scalar_map(&mut out, "gauges", &self.gauges(), false);
+        let hists = self.histograms();
+        out.push_str("  \"histograms\": {\n");
+        for (i, (name, h)) in hists.iter().enumerate() {
+            let comma = if i + 1 == hists.len() { "" } else { "," };
+            let buckets: Vec<String> = h
+                .buckets()
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 0)
+                .map(|(idx, &b)| format!("[{idx}, {b}]"))
+                .collect();
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
+                 \"buckets\": [{}]}}{}\n",
+                escape(name),
+                h.count(),
+                h.total_ns(),
+                h.mean_ns(),
+                h.max_ns(),
+                h.quantile_ns(0.50),
+                h.quantile_ns(0.90),
+                h.quantile_ns(0.99),
+                buckets.join(", "),
+                comma,
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_deterministic_and_schema_tagged() {
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.counter("a.first").incr();
+        r.gauge("size").set(41);
+        r.histogram("lat_ns").record_ns(100);
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"kcz-metrics/v1\",\n"));
+        // Name-sorted: a.first before b.second.
+        assert!(a.find("a.first").unwrap() < a.find("b.second").unwrap());
+        assert!(a.contains("\"count\": 1"));
+        assert!(a.contains("\"buckets\": [[6, 1]]"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_registry_exports_empty_sections() {
+        let r = Registry::new();
+        let j = r.to_json();
+        assert!(j.contains("\"counters\": {\n  },"));
+        assert!(j.contains("\"histograms\": {\n  }\n}"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let r = Registry::new();
+        r.counter("weird\"name\\x").incr();
+        let j = r.to_json();
+        assert!(j.contains("weird\\\"name\\\\x"));
+    }
+}

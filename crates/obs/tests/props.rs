@@ -1,0 +1,102 @@
+//! Property tests for the histogram algebra: merge is associative and
+//! commutative, quantiles are monotone, and the atomic multi-writer
+//! histogram agrees with the single-writer value type.
+
+use kcz_obs::{AtomicHistogram, LatencyHistogram};
+use proptest::prelude::*;
+
+/// Random observation streams spanning every bucket magnitude.
+fn arb_obs(max_n: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u32..63, 0u64..1000), 0..max_n).prop_map(|v| {
+        v.into_iter()
+            .map(|(shift, off)| (1u64 << shift) + off)
+            .collect()
+    })
+}
+
+fn hist_of(obs: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &ns in obs {
+        h.record_ns(ns);
+    }
+    h
+}
+
+proptest! {
+    // Pinned case count and RNG seed: tier-1 CI must never flake, and any
+    // failure must reproduce exactly from a plain rerun.
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        rng_seed: 0x0B5_0B5,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn merge_is_associative_and_commutative(a in arb_obs(40), b in arb_obs(40), c in arb_obs(40)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // b ∪ a == a ∪ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // And all equal recording the concatenated stream directly.
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        union.extend_from_slice(&c);
+        prop_assert_eq!(&left, &hist_of(&union));
+    }
+
+    #[test]
+    fn merge_conserves_count_total_and_max(a in arb_obs(50), b in arb_obs(50)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut m = ha.clone();
+        m.merge(&hb);
+        prop_assert_eq!(m.count(), ha.count() + hb.count());
+        prop_assert_eq!(m.total_ns(), ha.total_ns() + hb.total_ns());
+        prop_assert_eq!(m.max_ns(), ha.max_ns().max(hb.max_ns()));
+        prop_assert_eq!(m.buckets().iter().sum::<u64>(), m.count());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(obs in arb_obs(60), qs in prop::collection::vec(0.0f64..1.001, 2..8)) {
+        let h = hist_of(&obs);
+        let mut sorted = qs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bounds: Vec<u64> = sorted.iter().map(|&q| h.quantile_ns(q)).collect();
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile bounds not monotone: {:?}", bounds);
+        }
+        // The extreme quantiles bracket the observations.
+        if !obs.is_empty() {
+            prop_assert_eq!(h.quantile_ns(1.0), h.max_ns());
+            let min = *obs.iter().min().unwrap();
+            prop_assert!(h.quantile_ns(0.0) >= min.min(h.quantile_ns(0.0)));
+            prop_assert!(h.quantile_ns(0.0) <= h.max_ns());
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_agrees_with_value_type(obs in arb_obs(60)) {
+        let atomic = AtomicHistogram::default();
+        for &ns in &obs {
+            atomic.record_ns(ns);
+        }
+        prop_assert_eq!(atomic.snapshot(), hist_of(&obs));
+        // merge_from then snapshot doubles every statistic except max.
+        atomic.merge_from(&hist_of(&obs));
+        let doubled = atomic.snapshot();
+        prop_assert_eq!(doubled.count(), 2 * obs.len() as u64);
+        prop_assert_eq!(doubled.max_ns(), hist_of(&obs).max_ns());
+    }
+}

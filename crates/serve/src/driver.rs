@@ -15,6 +15,7 @@
 
 use kcz_engine::Engine;
 use kcz_metric::{MetricSpace, SpaceUsage};
+use kcz_obs::MetricsHandle;
 use kcz_workloads::{ShardKey, TraceOp};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,96 +46,11 @@ impl Default for DriverConfig {
     }
 }
 
-/// Power-of-two latency histogram: bucket `i` counts observations in
-/// `[2^i, 2^{i+1})` nanoseconds, except bucket 0, which spans `[0, 2)`
-/// so zero-duration observations are counted rather than misfiled.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    total_ns: u128,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; 64],
-            count: 0,
-            total_ns: 0,
-            max_ns: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one observation.  0 ns and 1 ns land in bucket 0;
-    /// observations past `u64::MAX` ns saturate into the top bucket.
-    pub fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
-        let bucket = (63 - (ns | 1).leading_zeros()) as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.total_ns += ns as u128;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            (self.total_ns / self.count as u128) as u64
-        }
-    }
-
-    /// Largest observation in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Upper bucket bound covering quantile `q ∈ [0, 1]` — e.g.
-    /// `quantile_ns(0.99)` is an upper bound on the p99 latency, at
-    /// power-of-two resolution, never past the largest observation
-    /// (so `quantile_ns(1.0) == max_ns()`).  0 when empty; `q` outside
-    /// `[0, 1]` is clamped.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        // Nudge below the exact product before ceiling: a q·count that
-        // lands on an integer boundary must select that rank, not the
-        // next one up (0.99·100 computes as 99.000…01 in binary and
-        // used to round to rank 100 — the p99 of 99 fast observations
-        // and one slow one reported the slow one).
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64) - 1e-9)
-            .ceil()
-            .max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= rank {
-                // Inclusive bucket upper bound; 2^64 − 1 for the top
-                // bucket (the old `1 << 63` understated any observation
-                // past 2^63), clamped to the largest observation.
-                let upper = ((1u128 << (i + 1)) - 1).min(u64::MAX as u128) as u64;
-                return upper.min(self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Raw bucket counts (bucket `i` spans `[2^i, 2^{i+1})` ns;
-    /// bucket 0 spans `[0, 2)`).
-    pub fn buckets(&self) -> &[u64; 64] {
-        &self.buckets
-    }
-}
+// The power-of-two latency histogram was born here and moved to the
+// observability crate once it grew shard-merging; this re-export keeps
+// every `kcz_serve::driver::LatencyHistogram` (and `kcz_serve::…`)
+// caller compiling against the single shared implementation.
+pub use kcz_obs::LatencyHistogram;
 
 /// What one replay did and how fast it went.
 #[derive(Debug, Clone)]
@@ -189,6 +105,7 @@ fn fold(digest: &mut u64, words: [u64; 3]) {
 pub struct LoadDriver<P, M: MetricSpace<P>> {
     query: QueryEngine<P, M>,
     cfg: DriverConfig,
+    metrics: MetricsHandle,
 }
 
 impl<P, M> LoadDriver<P, M>
@@ -198,10 +115,25 @@ where
 {
     /// A driver over the given engine, with its own query front.
     pub fn new(engine: Arc<Engine<P, M>>, cfg: DriverConfig) -> Self {
+        Self::with_metrics(engine, cfg, &MetricsHandle::disabled())
+    }
+
+    /// A driver whose replays publish their accounting through the
+    /// registry behind `metrics`: the local latency histograms merge
+    /// into `driver.query_ns` / `driver.ingest_ns` at the end of each
+    /// run (recording stays single-writer and allocation-free in the
+    /// loop), counters accumulate across runs, and the query front is
+    /// instrumented too.
+    pub fn with_metrics(
+        engine: Arc<Engine<P, M>>,
+        cfg: DriverConfig,
+        metrics: &MetricsHandle,
+    ) -> Self {
         assert!(cfg.ingest_batch >= 1, "ingest batch must be at least 1");
         LoadDriver {
-            query: QueryEngine::new(engine),
+            query: QueryEngine::with_metrics(engine, metrics),
             cfg,
+            metrics: metrics.clone(),
         }
     }
 
@@ -279,7 +211,32 @@ where
         report.refreshes += 1;
         report.final_epoch = last.epoch();
         report.elapsed = t0.elapsed();
+        self.publish_metrics(&report);
         report
+    }
+
+    /// Folds one finished replay into the registry (no-op when the
+    /// driver was built without metrics).
+    fn publish_metrics(&self, report: &DriverReport) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        self.metrics
+            .histogram("driver.query_ns")
+            .merge_from(&report.query_latency);
+        self.metrics
+            .histogram("driver.ingest_ns")
+            .merge_from(&report.ingest_latency);
+        self.metrics.counter("driver.ops").add(report.ops);
+        self.metrics.counter("driver.ingested").add(report.ingested);
+        self.metrics.counter("driver.queries").add(report.queries);
+        self.metrics.counter("driver.flushes").add(report.flushes);
+        self.metrics
+            .counter("driver.refreshes")
+            .add(report.refreshes);
+        self.metrics
+            .gauge("driver.final_epoch")
+            .set(report.final_epoch);
     }
 
     fn flush(&self, pending: &mut Vec<P>, report: &mut DriverReport) {
@@ -426,62 +383,57 @@ mod tests {
         }
     }
 
+    // The LatencyHistogram unit tests moved to `kcz-obs` with the type;
+    // what stays here is the driver's use of it through the registry.
     #[test]
-    fn histogram_quantiles_are_ordered() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.quantile_ns(0.5), 0);
-        for ns in [100u64, 200, 400, 800, 1600, 3200, 1_000_000] {
-            h.record(Duration::from_nanos(ns));
-        }
-        assert_eq!(h.count(), 7);
-        assert!(h.quantile_ns(0.5) <= h.quantile_ns(0.99));
-        assert!(h.quantile_ns(0.99) <= h.max_ns().next_power_of_two());
-        assert!(h.mean_ns() > 0);
-        assert_eq!(h.max_ns(), 1_000_000);
-        assert_eq!(h.buckets().iter().sum::<u64>(), 7);
-    }
-
-    #[test]
-    fn histogram_edge_observations_are_counted_not_misfiled() {
-        let mut h = LatencyHistogram::default();
-        // 0 ns and 1 ns both land in bucket 0 ([0, 2) ns)…
-        h.record(Duration::from_nanos(0));
-        h.record(Duration::from_nanos(1));
-        // …and the largest representable observation saturates into the
-        // top bucket.
-        h.record(Duration::from_nanos(u64::MAX));
-        assert_eq!(h.count(), 3);
-        assert_eq!(h.buckets()[0], 2);
-        assert_eq!(h.buckets()[63], 1);
-        assert_eq!(h.max_ns(), u64::MAX);
-        // q = 0 bounds the smallest observation's bucket; q = 1 returns
-        // the largest actual observation, not 2^63 (the old top-bucket
-        // understatement).  Out-of-range q clamps instead of panicking.
-        assert_eq!(h.quantile_ns(0.0), 1);
-        assert_eq!(h.quantile_ns(1.0), u64::MAX);
-        assert_eq!(h.quantile_ns(-1.0), 1);
-        assert_eq!(h.quantile_ns(2.0), u64::MAX);
-        assert_eq!(h.mean_ns(), ((u64::MAX as u128 + 1) / 3) as u64);
-    }
-
-    #[test]
-    fn histogram_quantile_rank_hits_exact_count_boundaries() {
-        // 99 fast observations and one slow one: p99 must select rank
-        // 99 (a fast one), not round 0.99·100 up to rank 100 (the slow
-        // one).
-        let mut h = LatencyHistogram::default();
-        for _ in 0..99 {
-            h.record(Duration::from_nanos(10));
-        }
-        h.record(Duration::from_micros(100));
-        assert_eq!(h.quantile_ns(0.99), 15); // [8, 16) bucket bound
-        assert_eq!(h.quantile_ns(0.991), 100_000); // clamped to max_ns
-
-        // p50 of two observations is the lower one (rank 1 of 2).
-        let mut h2 = LatencyHistogram::default();
-        h2.record(Duration::from_nanos(10));
-        h2.record(Duration::from_nanos(1000));
-        assert_eq!(h2.quantile_ns(0.5), 15);
-        assert_eq!(h2.quantile_ns(1.0), 1000);
+    fn instrumented_replay_publishes_exact_accounting() {
+        use kcz_obs::Registry;
+        let t = trace(400, 300, 3);
+        let registry = Registry::new();
+        let handle = MetricsHandle::new(&registry);
+        let driver = LoadDriver::with_metrics(
+            engine(),
+            DriverConfig {
+                ingest_batch: 64,
+                refresh_every: 100,
+                classify_radius: None,
+            },
+            &handle,
+        );
+        let report = driver.run(&t);
+        // Registry accounting mirrors the report exactly.
+        assert_eq!(registry.counter_value("driver.ops"), Some(report.ops));
+        assert_eq!(
+            registry.counter_value("driver.queries"),
+            Some(report.queries)
+        );
+        assert_eq!(
+            registry.counter_value("driver.ingested"),
+            Some(report.ingested)
+        );
+        assert_eq!(
+            registry.counter_value("driver.flushes"),
+            Some(report.flushes)
+        );
+        assert_eq!(
+            registry.gauge_value("driver.final_epoch"),
+            Some(report.final_epoch)
+        );
+        let q = registry.histogram_snapshot("driver.query_ns").unwrap();
+        assert_eq!(q.count(), report.query_latency.count());
+        assert_eq!(q.total_ns(), report.query_latency.total_ns());
+        // A second run merges on top rather than resetting.
+        let report2 = driver.run(&t);
+        assert_eq!(
+            registry.counter_value("driver.ops"),
+            Some(report.ops + report2.ops)
+        );
+        assert_eq!(
+            registry
+                .histogram_snapshot("driver.query_ns")
+                .unwrap()
+                .count(),
+            report.query_latency.count() + report2.query_latency.count()
+        );
     }
 }

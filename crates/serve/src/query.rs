@@ -14,6 +14,7 @@
 use kcz_engine::runtime::{global, Pool};
 use kcz_engine::Engine;
 use kcz_metric::{MetricSpace, SpaceUsage};
+use kcz_obs::{Counter, MetricsHandle, Stage};
 use kcz_workloads::ShardKey;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -38,11 +39,38 @@ fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// per-task overhead vanishes, small enough to spread across workers.
 const QUERY_CHUNK: usize = 1024;
 
+/// Instrument set of one query front.  Batched paths split into
+/// view-acquisition vs kernel time; recording is atomics only, so the
+/// steady-state query path stays allocation-free (pinned by the
+/// counting-allocator bench in `kcz-bench`).
+struct QueryInstruments {
+    view_acquire: Stage,
+    kernel: Stage,
+    batches: Counter,
+    batch_queries: Counter,
+    scalar_queries: Counter,
+    refreshes: Counter,
+}
+
+impl QueryInstruments {
+    fn new(metrics: &MetricsHandle) -> Self {
+        QueryInstruments {
+            view_acquire: metrics.stage("query.batch.view_ns"),
+            kernel: metrics.stage("query.batch.kernel_ns"),
+            batches: metrics.counter("query.batches"),
+            batch_queries: metrics.counter("query.batch.queries"),
+            scalar_queries: metrics.counter("query.scalar.queries"),
+            refreshes: metrics.counter("query.refreshes"),
+        }
+    }
+}
+
 /// The read-side front of one engine: publishes views, serves queries.
 pub struct QueryEngine<P, M: MetricSpace<P>> {
     engine: Arc<Engine<P, M>>,
     pool: &'static Pool,
     view: RwLock<Arc<SnapshotView<P, M>>>,
+    obs: QueryInstruments,
 }
 
 impl<P, M> QueryEngine<P, M>
@@ -55,11 +83,19 @@ where
     /// query then answers `None`/outlier until data arrives and
     /// [`refresh`](Self::refresh) republishes).
     pub fn new(engine: Arc<Engine<P, M>>) -> Self {
+        Self::with_metrics(engine, &MetricsHandle::disabled())
+    }
+
+    /// Like [`new`](Self::new), with batched queries timed
+    /// (view-acquisition vs kernel spans) and served-query counters
+    /// recorded through `metrics`.
+    pub fn with_metrics(engine: Arc<Engine<P, M>>, metrics: &MetricsHandle) -> Self {
         let view = Arc::new(SnapshotView::new(engine.metric().clone(), engine.publish()));
         QueryEngine {
             engine,
             pool: global(),
             view: RwLock::new(view),
+            obs: QueryInstruments::new(metrics),
         }
     }
 
@@ -105,21 +141,25 @@ where
         }
         let fresh = Arc::new(SnapshotView::new(self.engine.metric().clone(), snap));
         *guard = Arc::clone(&fresh);
+        self.obs.refreshes.incr();
         fresh
     }
 
     /// [`SnapshotView::assign`] against the current view.
     pub fn assign(&self, p: &P) -> Option<Assignment> {
+        self.obs.scalar_queries.incr();
         self.view().assign(p)
     }
 
     /// [`SnapshotView::classify`] against the current view.
     pub fn classify(&self, p: &P, r: f64) -> Classification {
+        self.obs.scalar_queries.incr();
         self.view().classify(p, r)
     }
 
     /// [`SnapshotView::nearest_centers`] against the current view.
     pub fn nearest_centers(&self, p: &P, j: usize) -> Vec<Assignment> {
+        self.obs.scalar_queries.incr();
         self.view().nearest_centers(p, j)
     }
 
@@ -140,34 +180,46 @@ where
     /// acquisition amortized over the whole batch (the scalar path pays
     /// it per request).
     pub fn assign_batch(&self, pts: &[P]) -> Vec<Option<Assignment>> {
+        let t_view = self.obs.view_acquire.start();
         let view = self.view();
+        t_view.finish();
         let mut out: Vec<Option<Assignment>> = vec![None; pts.len()];
         let tasks: Vec<(&[P], &mut [Option<Assignment>])> = pts
             .chunks(QUERY_CHUNK)
             .zip(out.chunks_mut(QUERY_CHUNK))
             .collect();
+        let t_kernel = self.obs.kernel.start();
         self.pool.scoped_map(tasks, |_, (chunk, slots)| {
             for (p, slot) in chunk.iter().zip(slots.iter_mut()) {
                 *slot = view.assign(p);
             }
         });
+        t_kernel.finish();
+        self.obs.batches.incr();
+        self.obs.batch_queries.add(pts.len() as u64);
         out
     }
 
     /// Batched classify at one radius, single-epoch and
     /// allocation-shaped like [`assign_batch`](Self::assign_batch).
     pub fn classify_batch(&self, pts: &[P], r: f64) -> Vec<Classification> {
+        let t_view = self.obs.view_acquire.start();
         let view = self.view();
+        t_view.finish();
         let mut out: Vec<Option<Classification>> = vec![None; pts.len()];
         let tasks: Vec<(&[P], &mut [Option<Classification>])> = pts
             .chunks(QUERY_CHUNK)
             .zip(out.chunks_mut(QUERY_CHUNK))
             .collect();
+        let t_kernel = self.obs.kernel.start();
         self.pool.scoped_map(tasks, |_, (chunk, slots)| {
             for (p, slot) in chunk.iter().zip(slots.iter_mut()) {
                 *slot = Some(view.classify(p, r));
             }
         });
+        t_kernel.finish();
+        self.obs.batches.incr();
+        self.obs.batch_queries.add(pts.len() as u64);
         out.into_iter()
             .map(|c| c.expect("every slot classified"))
             .collect()
@@ -235,6 +287,35 @@ mod tests {
         for (p, c) in probes.iter().zip(&cls) {
             assert_eq!(*c, query.classify(p, r), "probe {p:?}");
         }
+    }
+
+    #[test]
+    fn instrumented_batches_record_spans_and_counts() {
+        use kcz_obs::{MetricsHandle, Registry, TickClock};
+        let engine = Arc::new(Engine::new(L2, EngineConfig::new(4, 2, 8, 0.5)));
+        let registry = Registry::new();
+        let handle = MetricsHandle::with_clock(&registry, Arc::new(TickClock::new(5)));
+        let query = QueryEngine::with_metrics(Arc::clone(&engine), &handle);
+        engine.ingest(&stream(200));
+        query.refresh();
+        let probes = stream(300);
+        query.assign_batch(&probes);
+        query.classify_batch(&probes, 5.0);
+        query.assign(&probes[0]);
+        assert_eq!(registry.counter_value("query.batches"), Some(2));
+        assert_eq!(registry.counter_value("query.batch.queries"), Some(600));
+        assert_eq!(registry.counter_value("query.scalar.queries"), Some(1));
+        assert_eq!(registry.counter_value("query.refreshes"), Some(1));
+        let v = registry.histogram_snapshot("query.batch.view_ns").unwrap();
+        let k = registry
+            .histogram_snapshot("query.batch.kernel_ns")
+            .unwrap();
+        assert_eq!(v.count(), 2);
+        assert_eq!(k.count(), 2);
+        // The tick clock makes span durations deterministic: each span
+        // consumes exactly two readings, one tick (5 "ns") apart.
+        assert_eq!(v.total_ns(), 10);
+        assert_eq!(k.total_ns(), 10);
     }
 
     #[test]

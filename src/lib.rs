@@ -15,6 +15,7 @@
 //!
 //! | module | contents |
 //! |--------|----------|
+//! | [`obs`] | zero-overhead observability: lock-free counters/gauges/latency histograms behind a [`obs::MetricsHandle`] that no-ops when disabled, span/stage tracing on a pluggable [`obs::Clock`] (deterministic [`obs::TickClock`] for tests), and the versioned `kcz-metrics/v1` JSON export (`--metrics` on `kcz engine` / `query` / `conformance`) |
 //! | [`metric`] | points, metrics ([`metric::L2`], [`metric::Linf`], grids), **batched distance kernels** (`dist_many`, `nearest`, `count_within`, … with deferred-`sqrt` overrides), pruned neighbor queries ([`metric::index::NeighborIndex`]: grid-bucket + brute-force), weighted sets, storage accounting |
 //! | [`kcenter`] | offline solvers: Charikar-et-al. greedy 3-approximation, Gonzalez, exact ground truth — hot loops on the batched kernels |
 //! | [`coreset`] | mini-ball coverings: `MBCConstruction` (Alg. 1), `UpdateCoreset` (Alg. 4), index-accelerated sweeps, composition lemmas, validators |
@@ -53,6 +54,7 @@ pub use kcz_kcenter as kcenter;
 pub use kcz_lowerbounds as lowerbounds;
 pub use kcz_metric as metric;
 pub use kcz_mpc as mpc;
+pub use kcz_obs as obs;
 pub use kcz_serve as serve;
 pub use kcz_sketch as sketch;
 pub use kcz_streaming as streaming;
@@ -70,8 +72,8 @@ pub mod prelude {
     };
     pub use kcz_harness::{
         all_pipelines, catalog, churn_violations, f32_violations, incremental_violations,
-        query_violations, run_conformance, solver_violations, ConformanceReport, Pipeline,
-        Scenario, Tier, Verdict,
+        obs_violations, query_violations, run_conformance, solver_violations, ConformanceReport,
+        Pipeline, Scenario, Tier, Verdict,
     };
     pub use kcz_kcenter::{
         cost_with_outliers, exact_discrete, farthest_first, greedy, uncovered_weight,
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use kcz_mpc::{
         ceccarello_one_round, one_round_randomized, r_round, two_round, MpcCoreset, MpcRunStats,
     };
+    pub use kcz_obs::{MetricsHandle, MonotonicClock, Registry, TickClock};
     pub use kcz_serve::{
         Assignment, Classification, DriverConfig, DriverReport, LatencyHistogram, LoadDriver,
         QueryEngine, SnapshotView,

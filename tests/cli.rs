@@ -1192,3 +1192,189 @@ fn engine_rejects_bad_flags() {
         );
     }
 }
+
+#[test]
+fn engine_metrics_export_keeps_stdout_golden() {
+    // `--metrics` must be a pure side channel: the instrumented run's
+    // stdout stays byte-identical to the committed golden, and the
+    // export lands in the file as schema-tagged kcz-metrics/v1 JSON
+    // whose counters match the fixture's known stream shape.
+    use std::process::Stdio;
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_golden.txt"
+    );
+    let dir = std::env::temp_dir().join("kcz_cli_metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("engine_metrics.json");
+    let child = kcz()
+        .args([
+            "engine",
+            "--shards",
+            "4",
+            "--batch",
+            "256",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--metrics",
+        ])
+        .arg(&metrics)
+        .stdin(Stdio::from(std::fs::File::open(fixture).unwrap()))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("run kcz engine --metrics");
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = std::fs::read_to_string(golden).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        expected,
+        "--metrics must not perturb the byte-pinned stdout"
+    );
+    let body = std::fs::read_to_string(&metrics).unwrap();
+    assert!(body.contains("\"schema\": \"kcz-metrics/v1\""), "{body}");
+    // The fixture holds 14 points in one 256-point batch, one publish.
+    assert!(body.contains("\"engine.ingest.points\": 14"), "{body}");
+    assert!(body.contains("\"engine.ingest.batches\": 1"), "{body}");
+    assert!(body.contains("\"engine.publish.solves\": 1"), "{body}");
+    assert!(body.contains("engine.publish.total_ns"), "{body}");
+}
+
+#[test]
+fn query_metrics_export_records_the_served_batchless_requests() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    let requests = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/queries.csv");
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/query_golden.txt"
+    );
+    let dir = std::env::temp_dir().join("kcz_cli_metrics_query");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("query_metrics.json");
+    let mut cmd = kcz();
+    cmd.args([
+        "query",
+        "--input",
+        fixture,
+        "--requests",
+        requests,
+        "--shards",
+        "4",
+        "--batch",
+        "256",
+        "--k",
+        "2",
+        "--z",
+        "1",
+        "--eps",
+        "0.5",
+        "--metrics",
+    ]);
+    let out = cmd.arg(&metrics).output().expect("run kcz query --metrics");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        std::fs::read_to_string(golden).unwrap(),
+        "--metrics must not perturb the byte-pinned stdout"
+    );
+    let body = std::fs::read_to_string(&metrics).unwrap();
+    assert!(body.contains("\"schema\": \"kcz-metrics/v1\""), "{body}");
+    // Every request line in the committed fixture is served through the
+    // QueryEngine's instrumented scalar path (the initial view already
+    // carries the data, so the explicit refresh is the memoized no-op).
+    let served = std::fs::read_to_string(requests)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .count();
+    assert!(
+        body.contains(&format!("\"query.scalar.queries\": {served}")),
+        "expected {served} served scalar queries in {body}"
+    );
+    assert!(body.contains("\"query.refreshes\": 0"), "{body}");
+}
+
+#[test]
+fn metrics_to_unwritable_path_exits_2_and_dash_streams_to_stderr() {
+    use std::process::Stdio;
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.csv");
+    // A path in a missing directory is a usage error: exit 2, stdout
+    // already printed (the metrics write is the last act), usage on
+    // stderr.
+    let child = kcz()
+        .args([
+            "engine",
+            "--shards",
+            "4",
+            "--batch",
+            "256",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--metrics",
+            "/nonexistent-kcz-dir/m.json",
+        ])
+        .stdin(Stdio::from(std::fs::File::open(fixture).unwrap()))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("writing metrics"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    // `--metrics -` streams the export to stderr, keeping stdout golden.
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_golden.txt"
+    );
+    let child = kcz()
+        .args([
+            "engine",
+            "--shards",
+            "4",
+            "--batch",
+            "256",
+            "--k",
+            "2",
+            "--z",
+            "1",
+            "--eps",
+            "0.5",
+            "--metrics",
+            "-",
+        ])
+        .stdin(Stdio::from(std::fs::File::open(fixture).unwrap()))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        std::fs::read_to_string(golden).unwrap()
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("\"schema\": \"kcz-metrics/v1\""),
+        "dash export missing from stderr"
+    );
+}
